@@ -1,0 +1,24 @@
+"""Regenerate the design-choice ablations (beyond the paper's figures).
+
+gamma / IntervalLength / estimator basis for STFM, the FR-FCFS+Cap cap,
+open- vs closed-page row management, and DRAM refresh.  Expected shapes
+are documented in repro/experiments/ablations.py.
+"""
+
+import pytest
+
+from repro.experiments.base import Scale
+
+ABLATIONS = [
+    "ablate-gamma",
+    "ablate-interval",
+    "ablate-estimator",
+    "ablate-cap",
+    "ablate-page-policy",
+    "ablate-refresh",
+]
+
+
+@pytest.mark.parametrize("experiment_id", ABLATIONS)
+def test_regenerate_ablation(regenerate, experiment_id):
+    regenerate(experiment_id, Scale(budget=12_000, samples=1))

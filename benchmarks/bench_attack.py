@@ -1,0 +1,11 @@
+"""Regenerate the memory-performance-attack scenario (paper reference
+[20]).  Expected shape: FR-FCFS amplifies the victim's slowdown ~3x when
+the co-runner is a malicious stream; STFM bounds the amplification near
+1x while slowing the attacker itself.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_attack(regenerate):
+    regenerate("attack", Scale(budget=20_000, samples=1))

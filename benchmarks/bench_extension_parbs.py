@@ -1,0 +1,13 @@
+"""Regenerate the PAR-BS extension comparison.
+
+STFM vs its ISCA 2008 successor (plus the paper's baselines) across the
+three 4-core case-study workloads.  Expected shape: STFM and PAR-BS both
+dominate the thread-oblivious baselines on fairness; PAR-BS trades a
+little fairness for throughput.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_extension_parbs(regenerate):
+    regenerate("extension-parbs", Scale(budget=15_000, samples=1))

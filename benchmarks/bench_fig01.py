@@ -1,0 +1,11 @@
+"""Regenerate the paper's fig1.
+Figure 1: FR-FCFS memory slowdowns on 4- and 8-core CMPs.
+Expected shape: libquantum barely slowed; omnetpp (4-core) and
+dealII (8-core) slowed several-fold; worse at 8 cores.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig01(regenerate):
+    regenerate("fig1", Scale(budget=20_000, samples=2))

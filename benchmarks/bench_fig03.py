@@ -1,0 +1,11 @@
+"""Regenerate the paper's fig3.
+Figure 3 (qualitative): the NFQ idleness problem.  Expected shape:
+NFQ slows the continuous thread more than the bursty ones; FR-FCFS
+and STFM treat them nearly equally.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig03(regenerate):
+    regenerate("fig3", Scale(budget=20_000, samples=1))

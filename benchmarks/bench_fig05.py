@@ -1,0 +1,11 @@
+"""Regenerate the paper's fig5.
+Figure 5: 2-core mcf-vs-each-benchmark pairs under FR-FCFS and STFM.
+Expected shape: STFM compresses each pair's slowdowns (GMEAN
+unfairness drops toward ~1.2-1.4) without losing weighted speedup.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig05(regenerate):
+    regenerate("fig5", Scale(budget=12_000, samples=6))

@@ -1,0 +1,11 @@
+"""Regenerate the paper's fig6.
+Figure 6, case study I (memory-intensive 4-core workload).
+Expected shape: FR-FCFS favors libquantum; STFM lowest unfairness;
+NFQ penalizes the continuous/stream threads.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig06(regenerate):
+    regenerate("fig6", Scale(budget=20_000, samples=1))

@@ -1,0 +1,11 @@
+"""Regenerate the paper's fig7.
+Figure 7, case study II (mixed 4-core workload).  Expected shape:
+FCFS / FR-FCFS+Cap do not beat FR-FCFS here; STFM lowest
+unfairness with competitive weighted speedup.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig07(regenerate):
+    regenerate("fig7", Scale(budget=20_000, samples=1))

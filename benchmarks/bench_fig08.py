@@ -1,0 +1,11 @@
+"""Regenerate the paper's fig8.
+Figure 8, case study III (non-intensive 4-core workload).
+Expected shape: FR-FCFS very unfair (libquantum wins); STFM lowest
+unfairness with the best hmean speedup.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig08(regenerate):
+    regenerate("fig8", Scale(budget=20_000, samples=1))

@@ -1,0 +1,11 @@
+"""Regenerate the paper's fig9.
+Figure 9: 4-core sweep with GMEAN aggregation.  Expected shape:
+unfairness ordering FR-FCFS worst ... STFM best; STFM GMEAN
+weighted/hmean speedup >= the baselines'.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig09(regenerate):
+    regenerate("fig9", Scale(budget=12_000, samples=6))

@@ -1,0 +1,10 @@
+"""Regenerate the paper's fig10.
+Figure 10: non-intensive 8-core case study.  Expected shape: STFM
+lowest unfairness; NFQ penalizes the continuous mcf.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig10(regenerate):
+    regenerate("fig10", Scale(budget=20_000, samples=1))

@@ -1,0 +1,10 @@
+"""Regenerate the paper's fig11.
+Figure 11: 8-core sweep with GMEAN aggregation.  Expected shape:
+FR-FCFS unfairness grows versus 4 cores; STFM stays lowest.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig11(regenerate):
+    regenerate("fig11", Scale(budget=10_000, samples=5))

@@ -1,0 +1,10 @@
+"""Regenerate the paper's fig12.
+Figure 12: the three 16-core workloads.  Expected shape: STFM best
+fairness; NFQ degrades at 16 cores.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig12(regenerate):
+    regenerate("fig12", Scale(budget=10_000, samples=3))

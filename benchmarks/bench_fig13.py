@@ -1,0 +1,11 @@
+"""Regenerate the paper's fig13.
+Figure 13: desktop workload.  Expected shape: FR-FCFS starves the
+foreground apps behind the streaming background threads; STFM
+equalizes; NFQ in between (access-balance problem).
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig13(regenerate):
+    regenerate("fig13", Scale(budget=20_000, samples=1))

@@ -1,0 +1,12 @@
+"""Regenerate the paper's fig14.
+Figure 14: thread weights.  Expected shape: both NFQ shares and
+STFM weights prioritize the heavy thread, but STFM keeps
+equal-weight threads' slowdowns closer (lower equal-priority
+unfairness).
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig14(regenerate):
+    regenerate("fig14", Scale(budget=20_000, samples=1))

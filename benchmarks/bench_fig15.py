@@ -1,0 +1,11 @@
+"""Regenerate the paper's fig15.
+Figure 15: alpha sweep.  Expected shape: unfairness rises toward
+FR-FCFS's as alpha grows; alpha 1.05-1.1 beats alpha=1.0 on
+throughput.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_fig15(regenerate):
+    regenerate("fig15", Scale(budget=20_000, samples=1))

@@ -1,0 +1,10 @@
+"""Regenerate the paper's table3.
+Table 3 calibration: generated traces match MPKI and row-buffer hit
+targets; MCPI reported for reference.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_table3(regenerate):
+    regenerate("table3", Scale(budget=30_000, samples=1))

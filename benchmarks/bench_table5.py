@@ -1,0 +1,11 @@
+"""Regenerate the paper's table5.
+Table 5: bank-count and row-buffer-size sensitivity at 8 cores.
+Expected shape: FR-FCFS unfairness falls with banks, rises with row
+size; STFM roughly flat and always far lower.
+"""
+
+from repro.experiments.base import Scale
+
+
+def test_regenerate_table5(regenerate):
+    regenerate("table5", Scale(budget=10_000, samples=3))

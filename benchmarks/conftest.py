@@ -1,0 +1,45 @@
+"""Shared machinery for the figure/table regeneration benchmarks.
+
+Each ``bench_*.py`` regenerates one figure or table of the paper via
+pytest-benchmark::
+
+    pytest benchmarks/ --benchmark-only
+
+The benchmark clock measures the end-to-end experiment (workload
+generation, alone baselines, shared runs under every scheduler); the
+regenerated rows are attached as ``extra_info`` and the formatted tables
+are printed so the run doubles as the reproduction log for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.base import ExperimentResult, Scale
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run one experiment under the benchmark clock and print its tables."""
+
+    def _run(experiment_id: str, scale: Scale) -> ExperimentResult:
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale},
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["experiment"] = result.experiment_id
+        benchmark.extra_info["paper_reference"] = result.paper_reference
+        with capsys.disabled():
+            print(f"\n== {result.experiment_id}: {result.title} ==")
+            print(result.text)
+            if result.paper_reference:
+                print(f"[{result.paper_reference}]")
+        assert result.rows, "experiment produced no rows"
+        return result
+
+    return _run

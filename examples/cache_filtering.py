@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Deriving an L2-miss trace from a raw reference trace with the cache
+substrate, then simulating it.
+
+The paper's cores have private 512 KB L2 caches (Table 2); the memory
+controller only sees L2 misses and writebacks.  The built-in workloads
+synthesize miss traces directly, but the :mod:`repro.cpu.cache` model
+lets you start from a raw address trace instead — e.g. one captured from
+an instrumented application — and filter it down to DRAM traffic.
+
+Usage::
+
+    python examples/cache_filtering.py
+"""
+
+import random
+
+from repro import SystemConfig, make_policy
+from repro.cpu.cache import Cache, filter_trace
+from repro.cpu.trace import Trace, TraceRecord
+from repro.sim.system import CmpSystem
+
+
+def synthesize_reference_trace(records: int, seed: int = 42) -> Trace:
+    """A toy reference stream: strided array sweeps + random pointer
+    lookups over a working set larger than the L2."""
+    rng = random.Random(seed)
+    working_set = 4 * 1024 * 1024  # 4 MB: 8x the L2
+    out = []
+    cursor = 0
+    for _ in range(records):
+        if rng.random() < 0.7:  # sequential sweep (cache friendly-ish)
+            cursor = (cursor + 64) % working_set
+            address = cursor
+        else:  # random lookup
+            address = rng.randrange(0, working_set, 64)
+        out.append(
+            TraceRecord(
+                compute=rng.randrange(2, 12),
+                is_write=rng.random() < 0.3,
+                address=address,
+            )
+        )
+    return Trace(out, loop=False)
+
+
+def main() -> None:
+    reference = synthesize_reference_trace(60_000)
+    l2 = Cache(size_bytes=512 * 1024, ways=8)
+    misses = filter_trace(reference, l2)
+
+    print(f"reference trace : {reference.memory_operations} accesses")
+    print(
+        f"L2              : {l2.stats.hit_rate:.1%} hit rate, "
+        f"{l2.stats.writebacks} writebacks"
+    )
+    print(
+        f"miss trace      : {misses.memory_operations} DRAM requests "
+        f"({misses.mpki():.1f} MPKI)"
+    )
+
+    config = SystemConfig(num_cores=1)
+    system = CmpSystem(
+        config,
+        [Trace(misses.records, loop=False)],
+        make_policy("fr-fcfs", num_threads=1),
+        instruction_budget=misses.instructions_per_pass,
+    )
+    snapshot = system.run()[0]
+    stats = system.controller.thread_stats[0]
+    print(
+        f"\nsimulated on DDR2-800: IPC {snapshot.ipc:.2f}, "
+        f"MCPI {snapshot.mcpi:.3f}, row-buffer hit rate "
+        f"{stats.row_hit_rate:.1%}, avg DRAM latency "
+        f"{stats.average_read_latency:.0f} cycles"
+    )
+
+
+if __name__ == "__main__":
+    main()

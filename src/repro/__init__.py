@@ -1,0 +1,70 @@
+"""repro — Stall-Time Fair Memory Access Scheduling for CMPs (MICRO 2007).
+
+A complete, trace-driven reproduction of Mutlu & Moscibroda's STFM memory
+scheduler and its evaluation: a DDR2 DRAM + memory-controller model, the
+five scheduling policies compared in the paper (FR-FCFS, FCFS,
+FR-FCFS+Cap, NFQ, STFM), an analytical out-of-order core model, synthetic
+SPEC CPU2006 / desktop workloads, and a harness regenerating every figure
+and table of the paper's evaluation.
+
+Quick start::
+
+    from repro import ExperimentRunner, SystemConfig
+
+    runner = ExperimentRunner(SystemConfig(num_cores=4), instruction_budget=20_000)
+    result = runner.run_workload(
+        ["mcf", "libquantum", "GemsFDTD", "astar"], policy="stfm"
+    )
+    print(result.unfairness, result.weighted_speedup)
+"""
+
+from repro.core.stfm import StfmPolicy
+from repro.metrics import (
+    hmean_speedup,
+    memory_slowdown,
+    sum_of_ipcs,
+    unfairness_index,
+    weighted_speedup,
+)
+from repro.schedulers import (
+    FcfsPolicy,
+    FrFcfsCapPolicy,
+    FrFcfsPolicy,
+    NfqPolicy,
+    available_policies,
+    make_policy,
+)
+from repro.sim import (
+    CmpSystem,
+    ExperimentRunner,
+    SystemConfig,
+    ThreadResult,
+    WorkloadResult,
+)
+from repro.workloads import BenchmarkSpec, SPEC2006, benchmark, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkSpec",
+    "CmpSystem",
+    "ExperimentRunner",
+    "FcfsPolicy",
+    "FrFcfsCapPolicy",
+    "FrFcfsPolicy",
+    "NfqPolicy",
+    "SPEC2006",
+    "StfmPolicy",
+    "SystemConfig",
+    "ThreadResult",
+    "WorkloadResult",
+    "available_policies",
+    "benchmark",
+    "generate_trace",
+    "hmean_speedup",
+    "make_policy",
+    "memory_slowdown",
+    "sum_of_ipcs",
+    "unfairness_index",
+    "weighted_speedup",
+]

@@ -1,0 +1,35 @@
+"""Analysis of reproduction results against the paper's numbers.
+
+* :mod:`repro.analysis.paper_data` — the reference values transcribed
+  from the paper's figures and tables.
+* :mod:`repro.analysis.compare` — shape checks: policy orderings,
+  trends, who-wins agreements between paper and measurement.
+* :mod:`repro.analysis.report` — generates the EXPERIMENTS.md
+  paper-vs-measured report from a results JSON
+  (``stfm-sim run all --json results.json`` then
+  ``stfm-sim report results.json``).
+"""
+
+from repro.analysis.compare import (
+    OrderingCheck,
+    ordering_agreement,
+    stfm_is_best,
+    trend_direction,
+)
+from repro.analysis.paper_data import (
+    PAPER_UNFAIRNESS,
+    PAPER_FIG5,
+    PAPER_TABLE5,
+)
+from repro.analysis.report import generate_report
+
+__all__ = [
+    "OrderingCheck",
+    "PAPER_FIG5",
+    "PAPER_TABLE5",
+    "PAPER_UNFAIRNESS",
+    "generate_report",
+    "ordering_agreement",
+    "stfm_is_best",
+    "trend_direction",
+]

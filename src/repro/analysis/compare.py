@@ -1,0 +1,100 @@
+"""Shape checks: does the measurement agree with the paper?
+
+Since a Python re-simulation cannot match the authors' testbed's
+absolute numbers, agreement is defined over *shapes*:
+
+* who wins (is STFM the fairest scheduler?),
+* pairwise orderings (for each pair of schedulers the paper quotes,
+  does the measurement order them the same way?),
+* trends (does FR-FCFS unfairness fall with more banks, rise with
+  bigger row buffers, while STFM stays flat?).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OrderingCheck:
+    """Result of the pairwise-ordering comparison."""
+
+    agreements: int
+    comparisons: int
+    disagreements: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def score(self) -> float:
+        if not self.comparisons:
+            return 1.0
+        return self.agreements / self.comparisons
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.agreements}/{self.comparisons} pairwise orderings"
+
+
+def ordering_agreement(
+    paper: dict[str, float | None],
+    measured: dict[str, float],
+    tolerance: float = 0.03,
+) -> OrderingCheck:
+    """Compare pairwise orderings between paper and measured values.
+
+    Pairs whose paper values differ by less than ``tolerance`` (relative)
+    are treated as ties and skipped — the paper's own bars are not
+    meaningfully ordered there.
+    """
+    keys = [
+        k for k, v in paper.items() if v is not None and k in measured
+    ]
+    agreements = 0
+    comparisons = 0
+    disagreements = []
+    for a, b in itertools.combinations(keys, 2):
+        paper_a, paper_b = paper[a], paper[b]
+        if abs(paper_a - paper_b) <= tolerance * max(paper_a, paper_b):
+            continue
+        comparisons += 1
+        paper_says_a_higher = paper_a > paper_b
+        measured_says_a_higher = measured[a] > measured[b]
+        if paper_says_a_higher == measured_says_a_higher:
+            agreements += 1
+        else:
+            disagreements.append((a, b))
+    return OrderingCheck(agreements, comparisons, tuple(disagreements))
+
+
+def stfm_is_best(measured: dict[str, float], key: str = "STFM") -> bool:
+    """Whether STFM has the lowest (best) value among the schedulers."""
+    if key not in measured:
+        raise KeyError(f"{key!r} missing from measurement")
+    return measured[key] == min(measured.values())
+
+
+def trend_direction(values: list[float], tolerance: float = 0.02) -> str:
+    """Classify a sequence as 'increasing', 'decreasing', 'flat' or
+    'mixed' (ignoring wiggles below ``tolerance`` relative change)."""
+    if len(values) < 2:
+        return "flat"
+    ups = downs = 0
+    for earlier, later in zip(values, values[1:]):
+        if later > earlier * (1 + tolerance):
+            ups += 1
+        elif later < earlier * (1 - tolerance):
+            downs += 1
+    if ups and not downs:
+        return "increasing"
+    if downs and not ups:
+        return "decreasing"
+    if not ups and not downs:
+        return "flat"
+    return "mixed"
+
+
+def spread(values: dict[str, float | None]) -> float:
+    """max/min over the non-None values (the unfairness-style spread)."""
+    present = [v for v in values.values() if v is not None]
+    if not present:
+        raise ValueError("no values")
+    return max(present) / min(present)

@@ -1,0 +1,118 @@
+"""Reference values transcribed from the paper's evaluation section.
+
+Values marked ``None`` are not legible/reported in the paper's text for
+that cell.  Slowdowns are per-thread memory slowdowns; unfairness is the
+max/min slowdown ratio (Section 6.2).
+"""
+
+from __future__ import annotations
+
+#: Unfairness per scheduler for the case-study figures and the sweep
+#: GMEANs (paper Sections 7.2-7.4).
+PAPER_UNFAIRNESS: dict[str, dict[str, float | None]] = {
+    # Figure 6: mcf + libquantum + GemsFDTD + astar (4-core).
+    "fig6": {
+        "FR-FCFS": 7.28,
+        "FCFS": 2.07,
+        "FR-FCFS+Cap": 2.08,
+        "NFQ": 1.87,
+        "STFM": 1.27,
+    },
+    # Figure 7: mcf + leslie3d + h264ref + bzip2.
+    "fig7": {
+        "FR-FCFS": 1.68,
+        "FCFS": 1.87,
+        "FR-FCFS+Cap": 2.09,
+        "NFQ": 1.77,
+        "STFM": 1.28,
+    },
+    # Figure 8: libquantum + omnetpp + hmmer + h264ref.
+    "fig8": {
+        "FR-FCFS": 7.16,
+        "FCFS": 1.49,
+        "FR-FCFS+Cap": 1.52,
+        "NFQ": 1.94,
+        "STFM": 1.21,
+    },
+    # Figure 10: 8-core non-intensive case study.
+    "fig10": {
+        "FR-FCFS": 3.46,
+        "FCFS": 3.93,
+        "FR-FCFS+Cap": 4.14,
+        "NFQ": 2.93,
+        "STFM": 1.30,
+    },
+    # Figure 13: desktop workload.
+    "fig13": {
+        "FR-FCFS": 8.88,
+        "FCFS": 7.42,
+        "FR-FCFS+Cap": 7.51,
+        "NFQ": 1.75,
+        "STFM": 1.37,
+    },
+    # Figure 9 GMEAN over 256 4-core workloads.
+    "fig9": {
+        "FR-FCFS": 5.31,
+        "FCFS": 1.80,
+        "FR-FCFS+Cap": 1.65,
+        "NFQ": 1.58,
+        "STFM": 1.24,
+    },
+    # Figure 11 GMEAN over 32 8-core workloads (FCFS not quoted).
+    "fig11": {
+        "FR-FCFS": 5.26,
+        "FCFS": None,
+        "FR-FCFS+Cap": 2.64,
+        "NFQ": 2.53,
+        "STFM": 1.40,
+    },
+    # Figure 12 GMEAN over the three 16-core workloads (partially quoted).
+    "fig12": {
+        "FR-FCFS": None,
+        "FCFS": 2.23,
+        "FR-FCFS+Cap": None,
+        "NFQ": None,
+        "STFM": 1.75,
+    },
+}
+
+#: Figure 1 headline slowdowns (FR-FCFS only).
+PAPER_FIG1 = {
+    4: {"most_slowed": ("omnetpp", 7.74), "least_slowed": ("libquantum", 1.04)},
+    8: {"most_slowed": ("dealII", 11.35), "least_slowed": ("libquantum", 1.09)},
+}
+
+#: Figure 5 (2-core mcf pairs) summary numbers.
+PAPER_FIG5 = {
+    "frfcfs_gmean_unfairness": 2.02,
+    "stfm_gmean_unfairness": 1.24,
+    "stfm_max_unfairness": 1.74,
+    "weighted_speedup_gain": 1.01,
+    "hmean_speedup_gain": 1.065,
+}
+
+#: Figure 14 equal-priority unfairness under thread weights.
+PAPER_FIG14 = {
+    (1, 16, 1, 1): {"NFQ-shares": 2.77, "STFM-weights": 1.29},
+    (1, 4, 8, 1): {"NFQ-shares": 2.99, "STFM-weights": 1.20},
+}
+
+#: Table 5: (FR-FCFS unfairness, STFM unfairness) per sensitivity point,
+#: plus weighted speedups.
+PAPER_TABLE5 = {
+    ("banks", 4): {"frfcfs_unfairness": 5.47, "stfm_unfairness": 1.41,
+                   "frfcfs_ws": 2.41, "stfm_ws": 2.54},
+    ("banks", 8): {"frfcfs_unfairness": 5.26, "stfm_unfairness": 1.40,
+                   "frfcfs_ws": 2.75, "stfm_ws": 2.96},
+    ("banks", 16): {"frfcfs_unfairness": 5.01, "stfm_unfairness": 1.39,
+                    "frfcfs_ws": 3.14, "stfm_ws": 3.49},
+    ("row_buffer", 1024): {"frfcfs_unfairness": 4.98, "stfm_unfairness": 1.37,
+                           "frfcfs_ws": 2.53, "stfm_ws": 2.71},
+    ("row_buffer", 2048): {"frfcfs_unfairness": 5.26, "stfm_unfairness": 1.40,
+                           "frfcfs_ws": 2.75, "stfm_ws": 2.96},
+    ("row_buffer", 4096): {"frfcfs_unfairness": 5.51, "stfm_unfairness": 1.38,
+                           "frfcfs_ws": 2.81, "stfm_ws": 3.03},
+}
+
+#: Display order of schedulers, matching the figures.
+POLICY_ORDER = ["FR-FCFS", "FCFS", "FR-FCFS+Cap", "NFQ", "STFM"]

@@ -1,0 +1,375 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every experiment.
+
+``generate_report`` consumes the structured results produced by
+``stfm-sim run all --json results.json`` and renders a markdown report
+with, per figure/table: the paper's reference numbers, the measured
+numbers, and the shape checks of :mod:`repro.analysis.compare`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import paper_data
+from repro.analysis.compare import (
+    ordering_agreement,
+    spread,
+    stfm_is_best,
+    trend_direction,
+)
+
+_POLICY_KEYS = {
+    "FR-FCFS": "fr-fcfs",
+    "FCFS": "fcfs",
+    "FR-FCFS+Cap": "fr-fcfs+cap",
+    "NFQ": "nfq",
+    "STFM": "stfm",
+}
+
+_CASE_STUDIES = {
+    "fig6": "Case study I: memory-intensive 4-core workload",
+    "fig7": "Case study II: mixed 4-core workload",
+    "fig8": "Case study III: non-intensive 4-core workload",
+    "fig10": "Non-intensive 8-core workload",
+    "fig13": "Desktop 4-core workload",
+}
+
+_SWEEPS = {
+    "fig9": "4-core sweep (GMEAN unfairness)",
+    "fig11": "8-core sweep (GMEAN unfairness)",
+    "fig12": "16-core workloads (GMEAN unfairness)",
+}
+
+
+def _by_id(results: list[dict]) -> dict[str, dict]:
+    return {r["experiment_id"]: r for r in results}
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _case_study_unfairness(result: dict) -> dict[str, float]:
+    return {row["policy"]: row["unfairness"] for row in result["rows"]}
+
+
+def _sweep_gmean_unfairness(result: dict) -> dict[str, float]:
+    gmean_row = next(
+        row for row in result["rows"] if row.get("workload") == "GMEAN"
+    )
+    measured = {}
+    for display, key in _POLICY_KEYS.items():
+        value = gmean_row.get(f"unfairness:{key}")
+        if value is not None:
+            measured[display] = value
+    return measured
+
+
+def _unfairness_section(
+    experiment_id: str, title: str, measured: dict[str, float]
+) -> list[str]:
+    paper = paper_data.PAPER_UNFAIRNESS[experiment_id]
+    lines = [f"### {experiment_id}: {title}", ""]
+    lines.append("| scheduler | paper unfairness | measured |")
+    lines.append("|---|---|---|")
+    for policy in paper_data.POLICY_ORDER:
+        lines.append(
+            f"| {policy} | {_fmt(paper.get(policy))} | "
+            f"{_fmt(measured.get(policy))} |"
+        )
+    check = ordering_agreement(paper, measured)
+    verdicts = [
+        f"STFM fairest: **{'yes' if stfm_is_best(measured) else 'no'}**",
+        f"pairwise ordering agreement with the paper: **{check}**",
+        (
+            f"unfairness spread (worst/best scheduler): paper "
+            f"{_fmt(spread(paper))}, measured {_fmt(spread(measured))}"
+        ),
+    ]
+    if check.disagreements:
+        pairs = ", ".join(f"{a} vs {b}" for a, b in check.disagreements)
+        verdicts.append(f"disagreeing pairs: {pairs}")
+    lines.append("")
+    lines.extend(f"- {v}" for v in verdicts)
+    lines.append("")
+    return lines
+
+
+def _fig1_section(result: dict) -> list[str]:
+    lines = ["### fig1: FR-FCFS slowdowns (motivation)", ""]
+    for cores in (4, 8):
+        rows = [r for r in result["rows"] if r["cores"] == cores]
+        slowdowns = {r["benchmark"]: r["memory_slowdown"] for r in rows}
+        most = max(slowdowns, key=slowdowns.get)
+        least = min(slowdowns, key=slowdowns.get)
+        paper = paper_data.PAPER_FIG1[cores]
+        lines.append(
+            f"- {cores}-core: paper {paper['most_slowed'][0]} "
+            f"{paper['most_slowed'][1]:.2f}x vs {paper['least_slowed'][0]} "
+            f"{paper['least_slowed'][1]:.2f}x; measured {most} "
+            f"{slowdowns[most]:.2f}x vs {least} {slowdowns[least]:.2f}x "
+            f"(libquantum least-slowed: "
+            f"**{'yes' if least == 'libquantum' else 'no'}**)"
+        )
+    lines.append("")
+    return lines
+
+
+def _fig5_section(result: dict) -> list[str]:
+    summary = next(r for r in result["rows"] if r.get("partner") == "GMEAN")
+    paper = paper_data.PAPER_FIG5
+    lines = ["### fig5: 2-core mcf pairs, FR-FCFS vs STFM", ""]
+    lines.append("| metric | paper | measured |")
+    lines.append("|---|---|---|")
+    lines.append(
+        f"| GMEAN unfairness FR-FCFS | {paper['frfcfs_gmean_unfairness']:.2f} "
+        f"| {summary['frfcfs_unfairness']:.2f} |"
+    )
+    lines.append(
+        f"| GMEAN unfairness STFM | {paper['stfm_gmean_unfairness']:.2f} "
+        f"| {summary['stfm_unfairness']:.2f} |"
+    )
+    lines.append(
+        f"| max STFM unfairness | {paper['stfm_max_unfairness']:.2f} "
+        f"| {summary['stfm_max_unfairness']:.2f} |"
+    )
+    lines.append(
+        f"| weighted-speedup gain | x{paper['weighted_speedup_gain']:.3f} "
+        f"| x{summary['ws_gain']:.3f} |"
+    )
+    improved = summary["stfm_unfairness"] < summary["frfcfs_unfairness"]
+    lines.append("")
+    lines.append(
+        f"- STFM reduces pairwise unfairness: **{'yes' if improved else 'no'}**"
+    )
+    lines.append("")
+    return lines
+
+
+def _fig14_section(result: dict) -> list[str]:
+    lines = ["### fig14: thread weights (equal-priority unfairness)", ""]
+    lines.append("| weights | scheme | paper | measured |")
+    lines.append("|---|---|---|---|")
+    for row in result["rows"]:
+        weights = tuple(int(w) for w in row["weights"])
+        scheme = row["scheme"]
+        paper_value = paper_data.PAPER_FIG14.get(weights, {}).get(scheme)
+        lines.append(
+            f"| {'-'.join(str(w) for w in weights)} | {scheme} | "
+            f"{_fmt(paper_value)} | {row['equal_priority_unfairness']:.2f} |"
+        )
+    by_weights: dict[tuple, dict[str, float]] = {}
+    for row in result["rows"]:
+        weights = tuple(int(w) for w in row["weights"])
+        by_weights.setdefault(weights, {})[row["scheme"]] = row[
+            "equal_priority_unfairness"
+        ]
+    agreements = all(
+        values.get("STFM-weights", 99) < values.get("NFQ-shares", 0)
+        for values in by_weights.values()
+        if "STFM-weights" in values and "NFQ-shares" in values
+    )
+    lines.append("")
+    lines.append(
+        "- STFM keeps equal-weight threads fairer than NFQ shares: "
+        f"**{'yes' if agreements else 'no'}**"
+    )
+    lines.append("")
+    return lines
+
+
+def _fig15_section(result: dict) -> list[str]:
+    rows = [r for r in result["rows"] if r.get("alpha") is not None]
+    reference = next(r for r in result["rows"] if r.get("alpha") is None)
+    lines = ["### fig15: alpha sweep", ""]
+    lines.append("| alpha | unfairness | weighted speedup |")
+    lines.append("|---|---|---|")
+    for row in rows:
+        lines.append(
+            f"| {row['alpha']} | {row['unfairness']:.2f} | "
+            f"{row['weighted_speedup']:.2f} |"
+        )
+    lines.append(
+        f"| FR-FCFS | {reference['unfairness']:.2f} | "
+        f"{reference['weighted_speedup']:.2f} |"
+    )
+    unfairness_trend = trend_direction([r["unfairness"] for r in rows])
+    big_alpha = rows[-1]
+    converges = (
+        abs(big_alpha["unfairness"] - reference["unfairness"])
+        <= 0.35 * reference["unfairness"]
+    )
+    lines.append("")
+    lines.append(
+        f"- unfairness vs alpha: **{unfairness_trend}** (paper: increasing)"
+    )
+    lines.append(
+        f"- alpha=20 converges toward FR-FCFS: "
+        f"**{'yes' if converges else 'no'}**"
+    )
+    lines.append("")
+    return lines
+
+
+def _table5_section(result: dict) -> list[str]:
+    lines = ["### table5: sensitivity to banks and row-buffer size", ""]
+    lines.append(
+        "| config | paper FR-FCFS/STFM unfairness | measured FR-FCFS/STFM |"
+    )
+    lines.append("|---|---|---|")
+    banks_frfcfs, rb_frfcfs, stfm_all = [], [], []
+    for row in result["rows"]:
+        key = (row["axis"], row["value"])
+        paper = paper_data.PAPER_TABLE5.get(key, {})
+        label = (
+            f"{row['value']} banks"
+            if row["axis"] == "banks"
+            else f"{row['value'] // 1024} KB row"
+        )
+        lines.append(
+            f"| {label} | {_fmt(paper.get('frfcfs_unfairness'))} / "
+            f"{_fmt(paper.get('stfm_unfairness'))} | "
+            f"{row['frfcfs_unfairness']:.2f} / {row['stfm_unfairness']:.2f} |"
+        )
+        stfm_all.append(row["stfm_unfairness"])
+        if row["axis"] == "banks":
+            banks_frfcfs.append(row["frfcfs_unfairness"])
+        else:
+            rb_frfcfs.append(row["frfcfs_unfairness"])
+    lines.append("")
+    lines.append(
+        f"- FR-FCFS unfairness vs bank count: "
+        f"**{trend_direction(banks_frfcfs)}** (paper: decreasing)"
+    )
+    lines.append(
+        f"- FR-FCFS unfairness vs row-buffer size: "
+        f"**{trend_direction(rb_frfcfs, tolerance=0.05)}** (paper: increasing)"
+    )
+    stfm_flat = max(stfm_all) / min(stfm_all) < 1.15
+    lines.append(
+        f"- STFM unfairness flat across all six configs: "
+        f"**{'yes' if stfm_flat else 'no'}** "
+        f"(range {min(stfm_all):.2f}-{max(stfm_all):.2f}; paper 1.37-1.41)"
+    )
+    lines.append("")
+    return lines
+
+
+def _fig3_section(result: dict) -> list[str]:
+    by_policy = {row["policy"]: row for row in result["rows"]}
+    lines = ["### fig3 (qualitative): NFQ idleness problem", ""]
+    lines.append("| policy | continuous | mean bursty | unfairness |")
+    lines.append("|---|---|---|---|")
+    for policy, row in by_policy.items():
+        lines.append(
+            f"| {policy} | {row['continuous_slowdown']:.2f} | "
+            f"{row['mean_bursty_slowdown']:.2f} | {row['unfairness']:.2f} |"
+        )
+    nfq_starves = (
+        by_policy["NFQ"]["continuous_slowdown"]
+        > by_policy["NFQ"]["mean_bursty_slowdown"]
+    )
+    stfm_balanced = (
+        by_policy["STFM"]["unfairness"] < by_policy["NFQ"]["unfairness"]
+    )
+    lines.append("")
+    lines.append(
+        f"- NFQ penalizes the continuous thread: "
+        f"**{'yes' if nfq_starves else 'no'}** (the idleness problem)"
+    )
+    lines.append(
+        f"- STFM fairer than NFQ here: **{'yes' if stfm_balanced else 'no'}**"
+    )
+    lines.append("")
+    return lines
+
+
+def _attack_section(result: dict) -> list[str]:
+    by_policy = {row["policy"]: row for row in result["rows"]}
+    lines = ["### attack (extension): memory performance attack", ""]
+    lines.append("| policy | victim slowdown under attack | amplification |")
+    lines.append("|---|---|---|")
+    for policy, row in by_policy.items():
+        lines.append(
+            f"| {policy} | {row['victim_slowdown_attacked']:.2f} | "
+            f"x{row['attack_amplification']:.2f} |"
+        )
+    contained = (
+        by_policy["STFM"]["attack_amplification"]
+        < 0.5 * by_policy["FR-FCFS"]["attack_amplification"]
+    )
+    lines.append("")
+    lines.append(
+        f"- STFM contains the attack (amplification less than half of "
+        f"FR-FCFS's): **{'yes' if contained else 'no'}**"
+    )
+    lines.append("")
+    return lines
+
+
+def _generic_section(result: dict) -> list[str]:
+    lines = [f"### {result['experiment_id']}: {result['title']}", ""]
+    if result.get("paper_reference"):
+        lines.append(f"_{result['paper_reference']}_")
+        lines.append("")
+    rows = result["rows"]
+    if rows:
+        keys = [k for k in rows[0] if not isinstance(rows[0][k], (list, dict))]
+        lines.append("| " + " | ".join(keys) + " |")
+        lines.append("|" + "---|" * len(keys))
+        for row in rows:
+            lines.append(
+                "| " + " | ".join(_fmt(row.get(k)) for k in keys) + " |"
+            )
+    lines.append("")
+    return lines
+
+
+def generate_report(results: list[dict], preamble: str = "") -> str:
+    """Render the full paper-vs-measured markdown report."""
+    by_id = _by_id(results)
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Generated by `stfm-sim report` from a "
+        "`stfm-sim run all --json` results file.",
+        "",
+    ]
+    if preamble:
+        lines += [preamble, ""]
+    if "fig1" in by_id:
+        lines += _fig1_section(by_id["fig1"])
+    if "fig3" in by_id:
+        lines += _fig3_section(by_id["fig3"])
+    if "fig5" in by_id:
+        lines += _fig5_section(by_id["fig5"])
+    for experiment_id, title in _CASE_STUDIES.items():
+        if experiment_id in by_id:
+            measured = _case_study_unfairness(by_id[experiment_id])
+            lines += _unfairness_section(experiment_id, title, measured)
+    for experiment_id, title in _SWEEPS.items():
+        if experiment_id in by_id:
+            measured = _sweep_gmean_unfairness(by_id[experiment_id])
+            lines += _unfairness_section(experiment_id, title, measured)
+    if "fig14" in by_id:
+        lines += _fig14_section(by_id["fig14"])
+    if "fig15" in by_id:
+        lines += _fig15_section(by_id["fig15"])
+    if "table5" in by_id:
+        lines += _table5_section(by_id["table5"])
+    if "attack" in by_id:
+        lines += _attack_section(by_id["attack"])
+    handled = (
+        {"fig1", "fig3", "fig5", "fig14", "fig15", "table5", "attack"}
+        | set(_CASE_STUDIES)
+        | set(_SWEEPS)
+    )
+    remaining = [r for r in results if r["experiment_id"] not in handled]
+    if remaining:
+        lines.append("## Calibration, ablations and extensions")
+        lines.append("")
+        for result in remaining:
+            lines += _generic_section(result)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,162 @@
+"""Command-line interface: regenerate the paper's figures and tables.
+
+Usage::
+
+    stfm-sim list
+    stfm-sim run fig6 --scale small
+    stfm-sim run all --scale tiny
+    stfm-sim workload mcf libquantum GemsFDTD astar --policy stfm
+    stfm-sim benchmarks          # show the Table 3 registry
+
+(Equivalently: ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, SCALES, run_experiment
+from repro.schedulers.registry import available_policies
+from repro.sim.config import SystemConfig
+from repro.sim.results import format_table
+from repro.sim.runner import ExperimentRunner
+from repro.workloads.spec2006 import SPEC2006
+
+
+def _cmd_list(_args) -> int:
+    print("Available experiments (paper figure/table -> id):")
+    for experiment_id in EXPERIMENTS:
+        print(f"  {experiment_id}")
+    print(f"\nScales: {', '.join(SCALES)}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.experiment == "all":
+        ids = list(EXPERIMENTS)
+    elif args.experiment == "paper":
+        ids = [i for i in EXPERIMENTS if not i.startswith("ablate")]
+    else:
+        ids = [args.experiment]
+    results = []
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, scale=args.scale)
+        elapsed = time.time() - started
+        results.append(result)
+        print(f"== {result.experiment_id}: {result.title} ==")
+        print(result.text)
+        if result.paper_reference:
+            print(f"\n[{result.paper_reference}]")
+        print(f"({elapsed:.1f}s at scale {args.scale!r})\n")
+    if args.json:
+        from repro.experiments.io import save_results
+
+        save_results(results, args.json)
+        print(f"wrote {len(results)} result(s) to {args.json}")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    config = SystemConfig(num_cores=max(len(args.benchmarks), 2))
+    runner = ExperimentRunner(config, instruction_budget=args.budget)
+    policies = args.policy or available_policies()
+    rows = []
+    for policy in policies:
+        result = runner.run_workload(args.benchmarks, policy)
+        rows.append(
+            [result.policy, result.unfairness, result.weighted_speedup,
+             result.hmean_speedup]
+            + [t.slowdown for t in result.threads]
+        )
+    print(
+        format_table(
+            ["policy", "unfairness", "w-speedup", "hmean"] + args.benchmarks,
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+    from repro.experiments.io import load_results
+
+    report = generate_report(load_results(args.results))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_benchmarks(_args) -> int:
+    print(
+        format_table(
+            ["benchmark", "type", "MCPI", "MPKI", "RB-hit", "category"],
+            [
+                [s.name, s.itype, s.mcpi, s.mpki, s.rb_hit_rate, s.category]
+                for s in SPEC2006.values()
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stfm-sim",
+        description="Reproduce 'Stall-Time Fair Memory Access Scheduling' "
+        "(MICRO 2007) figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser(
+        "run", help="run an experiment ('all' = everything, 'paper' = "
+        "figures/tables only)"
+    )
+    run_parser.add_argument("experiment", help="experiment id, e.g. fig6")
+    run_parser.add_argument(
+        "--scale", default="small", choices=list(SCALES), help="sizing preset"
+    )
+    run_parser.add_argument(
+        "--json", metavar="PATH", help="also write structured results as JSON"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    wl_parser = sub.add_parser("workload", help="run an ad-hoc workload")
+    wl_parser.add_argument("benchmarks", nargs="+", help="benchmark names")
+    wl_parser.add_argument(
+        "--policy", action="append", help="scheduler(s); default: all five"
+    )
+    wl_parser.add_argument("--budget", type=int, default=20_000)
+    wl_parser.set_defaults(func=_cmd_workload)
+
+    sub.add_parser("benchmarks", help="show the Table 3 registry").set_defaults(
+        func=_cmd_benchmarks
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="generate the paper-vs-measured markdown report"
+    )
+    report_parser.add_argument("results", help="JSON file from 'run --json'")
+    report_parser.add_argument(
+        "-o", "--output", help="write markdown here (default: stdout)"
+    )
+    report_parser.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,389 @@
+"""The DRAM memory controller (Sections 2.2, 2.3 and 5 of the paper).
+
+Each DRAM cycle the controller, per channel:
+
+1. decides whether to service reads or drain writebacks (reads are
+   prioritized over writes; writes drain when their buffer passes a high
+   watermark or no reads are pending — Table 2 baseline),
+2. builds the set of *ready* command candidates for every bank,
+3. asks the scheduling policy to pick a winner (two-level prioritization),
+4. issues the winning command, updating bank/bus state, and — when the
+   command is a column access — completes the request and notifies stats.
+
+The controller also maintains the per-thread ``BankAccessParallelism``
+count (requests currently being serviced in banks, Table 1) used by STFM.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.controller.queues import RequestQueues
+from repro.controller.request import MemoryRequest
+from repro.dram.address import AddressMapper
+from repro.dram.bank import RowBufferOutcome
+from repro.dram.channel import Channel
+from repro.dram.commands import CommandCandidate, CommandKind
+from repro.dram.timing import DramTiming
+from repro.schedulers.base import SchedulingPolicy
+
+
+@dataclass
+class ScanInfo:
+    """Side products of one channel's candidate scan.
+
+    STFM's interference updates (Section 3.2.2) need to know, at the
+    moment a command issues, which *other* threads had ready commands:
+
+    Attributes:
+        channel: Channel index the scan belongs to.
+        waiting_column_threads: Threads with a queued request whose next
+            command is a column access on the channel — receivers of the
+            ``tBus`` bus-interference update.
+        waiting_threads_by_bank: Per bank, threads with at least one
+            request waiting for that bank — receivers of the
+            bank-interference update.
+        oldest_row_access_arrival: Per bank, the arrival time of the
+            oldest queued request that still needs a row access (activate
+            or precharge); used by FR-FCFS+Cap to detect column-over-row
+            bypassing.
+
+    The paper phrases the interference receivers as threads with a
+    *ready* command (footnote 4).  We default to *waiting* requests
+    instead: at DRAM-command granularity a victim's next command is
+    typically unready precisely because of the interferer's in-flight
+    command (bank busy, tRAS not yet satisfied), so the literal reading
+    systematically misses the delay it is supposed to measure.  Waiting
+    requests could have been scheduled had the thread run alone, which
+    is the quantity ``Talone`` needs (see DESIGN.md).  The literal
+    ready-based sets are also collected so the estimator-basis ablation
+    can quantify the difference (``stfm-sim run ablate-estimator``).
+    """
+
+    channel: int
+    waiting_column_threads: set[int] = field(default_factory=set)
+    waiting_threads_by_bank: dict[int, set[int]] = field(default_factory=dict)
+    ready_column_threads: set[int] = field(default_factory=set)
+    ready_threads_by_bank: dict[int, set[int]] = field(default_factory=dict)
+    oldest_row_access_arrival: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class ThreadMemStats:
+    """Per-thread DRAM service statistics for one simulation."""
+
+    reads_completed: int = 0
+    writes_completed: int = 0
+    row_hits: int = 0
+    row_closed: int = 0
+    row_conflicts: int = 0
+    total_read_latency: int = 0
+
+    def record_read(self, outcome: RowBufferOutcome, latency: int) -> None:
+        self.reads_completed += 1
+        self.total_read_latency += latency
+        if outcome is RowBufferOutcome.ROW_HIT:
+            self.row_hits += 1
+        elif outcome is RowBufferOutcome.ROW_CLOSED:
+            self.row_closed += 1
+        else:
+            self.row_conflicts += 1
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.reads_completed
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def average_read_latency(self) -> float:
+        total = self.reads_completed
+        return self.total_read_latency / total if total else 0.0
+
+
+class MemoryController:
+    """On-chip DRAM controller managing one or more channels."""
+
+    def __init__(
+        self,
+        timing: DramTiming,
+        mapper: AddressMapper,
+        num_threads: int,
+        policy: SchedulingPolicy,
+        read_capacity: int = 128,
+        write_capacity: int = 32,
+        write_drain_high: int = 24,
+        write_drain_low: int = 8,
+        page_policy: str = "open",
+        refresh_enabled: bool = False,
+    ) -> None:
+        if page_policy not in ("open", "closed"):
+            raise ValueError("page_policy must be 'open' or 'closed'")
+        self.timing = timing
+        self.mapper = mapper
+        self.num_threads = num_threads
+        self.channels = [
+            Channel(c, mapper.num_banks, timing) for c in range(mapper.num_channels)
+        ]
+        self.queues = RequestQueues(
+            mapper.num_channels,
+            mapper.num_banks,
+            num_threads,
+            read_capacity=read_capacity,
+            write_capacity=write_capacity,
+        )
+        self.write_drain_high = write_drain_high
+        self.write_drain_low = write_drain_low
+        self._draining = [False] * mapper.num_channels
+        self.policy = policy
+        policy.bind(self)
+
+        # BankAccessParallelism: in-flight serviced requests per thread,
+        # retired lazily via a (completion_time, thread) heap.
+        self._in_service: list[tuple[int, int]] = []
+        self._bank_access_parallelism = [0] * num_threads
+
+        self.thread_stats = [ThreadMemStats() for _ in range(num_threads)]
+        self.commands_issued = 0
+
+        # Open-page (baseline, Table 2) keeps rows open for hits;
+        # closed-page auto-precharges after the last pending column.
+        self.page_policy = page_policy
+        # Auto-refresh: an all-bank refresh per channel every tREFI.
+        self.refresh_enabled = refresh_enabled
+        self._next_refresh = [timing.refi] * mapper.num_channels
+        self.refreshes_issued = 0
+
+    # -- request admission -------------------------------------------------
+    def submit(self, request: MemoryRequest, now: int) -> bool:
+        """Admit a request into the request buffer.
+
+        Returns False when the corresponding buffer is full; the core
+        retries later (back-pressure).
+        """
+        request.arrival = now
+        if request.is_write:
+            accepted = self.queues.enqueue_write(request)
+        else:
+            accepted = self.queues.enqueue_read(request)
+        if accepted:
+            self.policy.on_enqueue(request, now)
+        return accepted
+
+    def make_request(
+        self, thread_id: int, address: int, is_write: bool, now: int
+    ) -> MemoryRequest:
+        coords = self.mapper.decode(address)
+        return MemoryRequest(thread_id, address, coords, is_write, now)
+
+    # -- scheduling ----------------------------------------------------------
+    def tick(self, now: int) -> None:
+        """Make one scheduling decision per channel (one DRAM cycle)."""
+        self._retire_in_service(now)
+        if self.refresh_enabled:
+            self._refresh(now)
+        self.policy.begin_cycle(now)
+        for channel in self.channels:
+            self._schedule_channel(channel, now)
+
+    def _refresh(self, now: int) -> None:
+        """All-bank auto-refresh: every tREFI the channel's banks are
+        precharged and unavailable for tRFC."""
+        timing = self.timing
+        for channel in self.channels:
+            if now < self._next_refresh[channel.index]:
+                continue
+            self._next_refresh[channel.index] = now + timing.refi
+            self.refreshes_issued += 1
+            for bank in channel.banks:
+                bank.open_row = None
+                bank.busy_until = max(bank.busy_until, now) + timing.rfc
+
+    def _retire_in_service(self, now: int) -> None:
+        heap = self._in_service
+        while heap and heap[0][0] <= now:
+            _, thread = heapq.heappop(heap)
+            self._bank_access_parallelism[thread] -= 1
+
+    def bank_access_parallelism(self, thread_id: int) -> int:
+        """Banks currently servicing requests from the thread (Table 1)."""
+        return self._bank_access_parallelism[thread_id]
+
+    def has_work(self) -> bool:
+        return self.queues.total_reads() > 0 or self.queues.total_writes() > 0
+
+    def _schedule_channel(self, channel: Channel, now: int) -> None:
+        queues = self.queues.channels[channel.index]
+        draining = self._update_drain_mode(channel.index, queues)
+        if draining:
+            per_bank, scan = self._scan_writes(channel, queues, now)
+        else:
+            per_bank, scan = self._scan_reads(channel, queues, now)
+        if not per_bank:
+            return
+        candidate = self.policy.select(channel.index, per_bank, now)
+        if candidate is None:
+            return
+        self._issue(channel, candidate, scan, now)
+
+    def _update_drain_mode(self, channel_index: int, queues) -> bool:
+        writes = queues.write_count
+        if self._draining[channel_index]:
+            if writes <= self.write_drain_low:
+                self._draining[channel_index] = False
+        else:
+            if writes >= self.write_drain_high or (
+                queues.read_count == 0 and writes > 0
+            ):
+                self._draining[channel_index] = True
+        return self._draining[channel_index]
+
+    def _scan_reads(self, channel: Channel, queues, now: int):
+        """Build ready read candidates and the STFM scan side-info."""
+        per_bank: dict[int, list[CommandCandidate]] = {}
+        scan = ScanInfo(channel.index)
+        for bank_index, queue in enumerate(queues.bank_queues):
+            if not queue:
+                continue
+            bank = channel.banks[bank_index]
+            candidates: list[CommandCandidate] = []
+            waiting_threads: set[int] = set()
+            oldest_row_access: int | None = None
+            for request in queue:
+                kind = bank.next_command_for(request.coords.row)
+                if kind.is_column and request.is_write:
+                    kind = CommandKind.WRITE
+                waiting_threads.add(request.thread_id)
+                if kind.is_column:
+                    scan.waiting_column_threads.add(request.thread_id)
+                elif oldest_row_access is None or request.arrival < oldest_row_access:
+                    oldest_row_access = request.arrival
+                # Per-bank selection respects only bank constraints;
+                # channel constraints (data bus) are checked at the
+                # across-bank level via `channel_ready` (Section 2.3).
+                if not bank.is_ready(kind, now):
+                    continue
+                channel_ready = not kind.is_column or channel.column_ready(now)
+                candidates.append(
+                    CommandCandidate(
+                        kind,
+                        request,
+                        bank_index,
+                        bank.command_latency(kind),
+                        channel_ready=channel_ready,
+                    )
+                )
+            if candidates:
+                per_bank[bank_index] = candidates
+                scan.ready_threads_by_bank[bank_index] = {
+                    c.thread_id for c in candidates
+                }
+                scan.ready_column_threads.update(
+                    c.thread_id
+                    for c in candidates
+                    if c.is_column and c.channel_ready
+                )
+            scan.waiting_threads_by_bank[bank_index] = waiting_threads
+            if oldest_row_access is not None:
+                scan.oldest_row_access_arrival[bank_index] = oldest_row_access
+        return per_bank, scan
+
+    def _scan_writes(self, channel: Channel, queues, now: int):
+        """Build ready write candidates (write-drain mode).
+
+        For interference accounting during drains, threads with queued
+        reads stand in for "threads with ready commands" (the banks were
+        necessarily free for the command that is about to issue).
+        """
+        per_bank: dict[int, list[CommandCandidate]] = {}
+        scan = ScanInfo(channel.index)
+        for request in queues.write_queue:
+            bank_index = request.coords.bank
+            bank = channel.banks[bank_index]
+            kind = bank.next_command_for(request.coords.row)
+            if kind.is_column:
+                kind = CommandKind.WRITE
+            if not bank.is_ready(kind, now):
+                continue
+            channel_ready = not kind.is_column or channel.column_ready(now)
+            candidate = CommandCandidate(
+                kind,
+                request,
+                bank_index,
+                bank.command_latency(kind),
+                channel_ready=channel_ready,
+            )
+            per_bank.setdefault(bank_index, []).append(candidate)
+        if per_bank:
+            for bank_index, bank_queue in enumerate(queues.bank_queues):
+                if not bank_queue:
+                    continue
+                threads = {r.thread_id for r in bank_queue}
+                scan.waiting_threads_by_bank.setdefault(bank_index, set()).update(
+                    threads
+                )
+                scan.waiting_column_threads.update(threads)
+                # During drains, queued reads stand in for ready reads in
+                # both accounting bases (the issuing bank was free).
+                scan.ready_threads_by_bank.setdefault(bank_index, set()).update(
+                    threads
+                )
+                scan.ready_column_threads.update(threads)
+        return per_bank, scan
+
+    def _issue(
+        self, channel: Channel, candidate: CommandCandidate, scan: ScanInfo, now: int
+    ) -> None:
+        request = candidate.request
+        bank = channel.banks[candidate.bank_index]
+        kind = candidate.kind
+        self.commands_issued += 1
+        if kind is CommandKind.PRECHARGE:
+            channel.issue(bank, kind, request.coords.row, now)
+            request.got_precharge = True
+        elif kind is CommandKind.ACTIVATE:
+            channel.issue(bank, kind, request.coords.row, now)
+            request.got_activate = True
+        else:
+            data_end = channel.issue(bank, kind, request.coords.row, now)
+            request.completed_at = data_end + self.timing.overhead
+            stats = self.thread_stats[request.thread_id]
+            if request.is_write:
+                self.queues.remove_write(request)
+                stats.writes_completed += 1
+            else:
+                self.queues.remove_read(request)
+                latency = request.completed_at - request.arrival
+                stats.record_read(request.service_outcome(), latency)
+                heapq.heappush(
+                    self._in_service, (request.completed_at, request.thread_id)
+                )
+                self._bank_access_parallelism[request.thread_id] += 1
+            if self.page_policy == "closed":
+                # After the serviced request left the queue: close the row
+                # unless another request to it is still pending.
+                self._maybe_auto_precharge(channel, bank, request, now)
+            self.policy.on_request_completed(request, now)
+        self.policy.on_command_issued(candidate, scan, now)
+
+    def _maybe_auto_precharge(
+        self, channel: Channel, bank, request: MemoryRequest, now: int
+    ) -> None:
+        """Closed-page policy: precharge after the last pending column.
+
+        The row stays open only while more requests to the same row are
+        queued (a read-burst optimization real closed-page controllers
+        also apply); otherwise the bank precharges immediately after the
+        burst, respecting tRAS.
+        """
+        row = request.coords.row
+        queue = self.queues.channels[channel.index].bank_queues[
+            request.coords.bank
+        ]
+        if any(r.coords.row == row for r in queue):
+            return
+        bank.open_row = None
+        precharge_start = max(
+            now + self.timing.burst, bank.activated_at + self.timing.ras
+        )
+        bank.busy_until = precharge_start + self.timing.rp

@@ -1,0 +1,25 @@
+"""STFM: the Stall-Time Fair Memory scheduler (the paper's contribution).
+
+The package implements Section 3 (approach and algorithm) and Section 5
+(implementation) of the paper:
+
+* :mod:`repro.core.registers` — the per-thread register file of Table 1.
+* :mod:`repro.core.estimator` — the ``TInterference`` update rules of
+  Section 3.2.2 (bus interference, bank interference amortized by
+  ``BankWaitingParallelism``, and own-thread extra latency amortized by
+  ``BankAccessParallelism``).
+* :mod:`repro.core.stfm` — the scheduling policy of Section 3.2.1 with
+  the system-software support of Section 3.3 (``alpha`` threshold and
+  thread weights).
+"""
+
+from repro.core.estimator import InterferenceEstimator
+from repro.core.registers import StfmRegisters, ThreadRegisters
+from repro.core.stfm import StfmPolicy
+
+__all__ = [
+    "InterferenceEstimator",
+    "StfmPolicy",
+    "StfmRegisters",
+    "ThreadRegisters",
+]

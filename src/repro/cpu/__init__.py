@@ -1,0 +1,23 @@
+"""Processor-side models: traces, cores, MSHRs and caches.
+
+The core model reproduces the paper's performance-model essentials
+(Table 2): a 128-entry instruction window, 3-wide commit with at most one
+memory operation per cycle, 64 MSHRs, and — crucially — the definition of
+memory stall time used for ``Tshared``: cycles in which the core cannot
+commit instructions because the oldest instruction is an L2 miss.
+"""
+
+from repro.cpu.cache import Cache, filter_trace
+from repro.cpu.core import Core, CoreSnapshot
+from repro.cpu.mshr import MshrFile
+from repro.cpu.trace import Trace, TraceRecord
+
+__all__ = [
+    "Cache",
+    "Core",
+    "CoreSnapshot",
+    "MshrFile",
+    "Trace",
+    "TraceRecord",
+    "filter_trace",
+]

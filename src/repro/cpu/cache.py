@@ -1,0 +1,126 @@
+"""Set-associative cache model (the cores' private cache hierarchy).
+
+The paper's cores have private 32 KB L1 and 512 KB L2 caches (Table 2);
+the memory controller only ever sees L2 misses and writebacks.  The main
+experiments synthesize L2-miss traces directly (see
+:mod:`repro.workloads.synthetic`), but this substrate lets users derive a
+miss trace from a raw reference trace — see :func:`filter_trace` and
+``examples/cache_filtering.py`` — and is exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cpu.trace import Trace, TraceRecord
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A write-back, write-allocate, LRU set-associative cache."""
+
+    def __init__(
+        self,
+        size_bytes: int = 512 * 1024,
+        ways: int = 8,
+        line_bytes: int = 64,
+    ) -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("size must be divisible by ways * line size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self._offset_bits = line_bytes.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        # Per set: OrderedDict of tag -> dirty flag, LRU order (oldest first).
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address >> self._offset_bits
+        return line & self._set_mask, line >> self.num_sets.bit_length() - 1
+
+    def access(self, address: int, is_write: bool = False) -> tuple[bool, int | None]:
+        """Access one address.
+
+        Returns:
+            ``(hit, writeback_address)``: whether the access hit, and the
+            byte address of a dirty victim line that must be written back
+            (None when no writeback occurs).
+        """
+        set_index, tag = self._locate(address)
+        cache_set = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in cache_set:
+            self.stats.hits += 1
+            dirty = cache_set.pop(tag)
+            cache_set[tag] = dirty or is_write
+            return True, None
+        writeback = None
+        if len(cache_set) >= self.ways:
+            victim_tag, victim_dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+                set_bits = self.num_sets.bit_length() - 1
+                victim_line = (victim_tag << set_bits) | set_index
+                writeback = victim_line << self._offset_bits
+        cache_set[tag] = is_write
+        return False, writeback
+
+    def contains(self, address: int) -> bool:
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+
+def filter_trace(trace: Trace, cache: Cache) -> Trace:
+    """Pass a reference trace through a cache, keeping only misses.
+
+    Compute gaps of hits are folded into the following miss record
+    (a hit costs ~the core's cache latency, which the analytical core
+    model subsumes into compute time).  Dirty evictions are appended as
+    writeback records with a zero compute gap.
+    """
+    records: list[TraceRecord] = []
+    pending_compute = 0
+    for record in trace:
+        pending_compute += record.compute
+        hit, writeback = cache.access(record.address, record.is_write)
+        if hit:
+            pending_compute += 1  # the hit retires as a compute instruction
+            continue
+        records.append(
+            TraceRecord(
+                compute=pending_compute,
+                is_write=record.is_write,
+                address=record.address,
+                dependent=record.dependent,
+            )
+        )
+        pending_compute = 0
+        if writeback is not None:
+            records.append(
+                TraceRecord(compute=0, is_write=True, address=writeback)
+            )
+    return Trace(records, loop=trace.loop)

@@ -1,0 +1,69 @@
+"""Trace (de)serialization.
+
+A simple line-oriented text format so traces can be stored, diffed and
+shared — e.g. a filtered L2-miss trace captured once and replayed across
+scheduler configurations::
+
+    # repro-trace v1 loop=1
+    # compute  kind  address  dependent
+    12 R 0x00012340 0
+    0  W 0x00056780 0
+    3  R 0x00012380 1
+
+Lines starting with ``#`` are comments; fields are whitespace-separated.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cpu.trace import Trace, TraceRecord
+
+_HEADER_PREFIX = "# repro-trace v1"
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace to ``path`` in the text format above."""
+    path = Path(path)
+    lines = [f"{_HEADER_PREFIX} loop={int(trace.loop)}"]
+    lines.append("# compute kind address dependent")
+    for record in trace:
+        kind = "W" if record.is_write else "R"
+        lines.append(
+            f"{record.compute} {kind} 0x{record.address:x} "
+            f"{int(record.dependent)}"
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        ValueError: on a missing/incompatible header or malformed line.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines or not lines[0].startswith(_HEADER_PREFIX):
+        raise ValueError(f"{path} is not a repro-trace v1 file")
+    loop = "loop=1" in lines[0]
+    records: list[TraceRecord] = []
+    for number, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) != 4:
+            raise ValueError(f"{path}:{number}: expected 4 fields, got {line!r}")
+        compute, kind, address, dependent = fields
+        if kind not in ("R", "W"):
+            raise ValueError(f"{path}:{number}: kind must be R or W")
+        records.append(
+            TraceRecord(
+                compute=int(compute),
+                is_write=kind == "W",
+                address=int(address, 16),
+                dependent=bool(int(dependent)),
+            )
+        )
+    return Trace(records, loop=loop)

@@ -1,0 +1,24 @@
+"""DRAM substrate: timing, address mapping, banks, channels, commands.
+
+This package models a DDR2-style SDRAM memory system at the granularity the
+paper's scheduler operates at: DRAM commands (precharge / activate /
+read / write) issued once per DRAM cycle per channel, subject to bank and
+bus timing constraints (Section 2 of the paper).
+"""
+
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.bank import Bank, RowBufferOutcome
+from repro.dram.channel import Channel
+from repro.dram.commands import CommandCandidate, CommandKind
+from repro.dram.timing import DramTiming
+
+__all__ = [
+    "AddressMapper",
+    "Bank",
+    "Channel",
+    "CommandCandidate",
+    "CommandKind",
+    "DecodedAddress",
+    "DramTiming",
+    "RowBufferOutcome",
+]

@@ -1,0 +1,109 @@
+"""DRAM timing parameters and their conversion to CPU cycles.
+
+The simulator keeps all time in integer CPU cycles of a 4 GHz processor
+(0.25 ns per cycle), matching the paper's Table 2 configuration.  DRAM
+parameters are specified in nanoseconds (Micron DDR2-800: ``tCL = tRCD =
+tRP = 15 ns``, burst ``BL/2 = 10 ns``) and converted once at construction.
+
+One DRAM cycle is 2.5 ns (a 400 MHz DDR2-800 command clock), i.e. 10 CPU
+cycles; the memory controller makes one scheduling decision per channel per
+DRAM cycle, exactly as in the paper (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing configuration of the DRAM system.
+
+    All ``*_ns`` attributes are in nanoseconds.  The derived attributes
+    (``cl``, ``rcd``, ...) are in CPU cycles and are computed from the
+    nanosecond values and ``cpu_freq_ghz``.
+
+    Attributes:
+        t_cl_ns: CAS (column access) latency.  A row-hit pays only this.
+        t_rcd_ns: RAS-to-CAS delay (activate, i.e. row open, latency).
+        t_rp_ns: Row precharge latency (closing the open row).
+        t_ras_ns: Minimum time a row must stay open after activation
+            before it may be precharged.
+        t_burst_ns: Data-bus occupancy of one cache-line transfer
+            (``BL/2`` DRAM cycles for DDR2; 10 ns for a 64-byte line on a
+            64-bit DDR2-800 channel).
+        t_overhead_ns: Fixed round-trip overhead outside the DRAM chip
+            (controller queuing/decode plus on-chip interconnect), chosen
+            so uncontended row-hit latency is ~35 ns as in Table 2.
+        t_refi_ns: Average refresh interval (one all-bank refresh is due
+            every tREFI; 7.8 us for DDR2).  Refresh is modeled only when
+            the system config enables it — the paper does not study it.
+        t_rfc_ns: Refresh cycle time (banks unavailable; 127.5 ns for a
+            1 Gb DDR2 device).
+        dram_clock_ns: Period of the DRAM command clock.
+        cpu_freq_ghz: CPU clock frequency used for the conversion.
+    """
+
+    t_cl_ns: float = 15.0
+    t_rcd_ns: float = 15.0
+    t_rp_ns: float = 15.0
+    t_ras_ns: float = 45.0
+    t_burst_ns: float = 10.0
+    t_overhead_ns: float = 10.0
+    t_refi_ns: float = 7800.0
+    t_rfc_ns: float = 127.5
+    dram_clock_ns: float = 2.5
+    cpu_freq_ghz: float = 4.0
+
+    # Derived values (CPU cycles), filled in __post_init__.
+    cl: int = field(init=False)
+    rcd: int = field(init=False)
+    rp: int = field(init=False)
+    ras: int = field(init=False)
+    burst: int = field(init=False)
+    overhead: int = field(init=False)
+    refi: int = field(init=False)
+    rfc: int = field(init=False)
+    dram_cycle: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        to_cycles = self._to_cycles
+        object.__setattr__(self, "cl", to_cycles(self.t_cl_ns))
+        object.__setattr__(self, "rcd", to_cycles(self.t_rcd_ns))
+        object.__setattr__(self, "rp", to_cycles(self.t_rp_ns))
+        object.__setattr__(self, "ras", to_cycles(self.t_ras_ns))
+        object.__setattr__(self, "burst", to_cycles(self.t_burst_ns))
+        object.__setattr__(self, "overhead", to_cycles(self.t_overhead_ns))
+        object.__setattr__(self, "refi", to_cycles(self.t_refi_ns))
+        object.__setattr__(self, "rfc", to_cycles(self.t_rfc_ns))
+        object.__setattr__(self, "dram_cycle", to_cycles(self.dram_clock_ns))
+        if self.dram_cycle <= 0:
+            raise ValueError("DRAM cycle must be at least one CPU cycle")
+
+    def _to_cycles(self, nanoseconds: float) -> int:
+        return int(round(nanoseconds * self.cpu_freq_ghz))
+
+    @property
+    def t_bus(self) -> int:
+        """Data-bus occupancy of one transfer, in CPU cycles.
+
+        This is the ``t_bus`` of the paper's Section 3.2.2 bus-interference
+        update (``BL/2`` for DDR2 read/write commands).
+        """
+        return self.burst
+
+    def row_hit_latency(self) -> int:
+        """Uncontended service latency of a row-hit request (CPU cycles)."""
+        return self.cl + self.burst + self.overhead
+
+    def row_closed_latency(self) -> int:
+        """Uncontended service latency when the bank has no open row."""
+        return self.rcd + self.cl + self.burst + self.overhead
+
+    def row_conflict_latency(self) -> int:
+        """Uncontended service latency when a different row is open."""
+        return self.rp + self.rcd + self.cl + self.burst + self.overhead
+
+
+DDR2_800 = DramTiming()
+"""The paper's baseline Micron DDR2-800 timing (Table 2)."""

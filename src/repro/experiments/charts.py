@@ -1,0 +1,97 @@
+"""Terminal bar charts for experiment output.
+
+The paper's evaluation figures are bar charts (memory slowdown per
+thread, unfairness per scheduler); these helpers render the same shapes
+in a terminal so a reproduction run can be eyeballed against the paper
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_FULL = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Render one bar with eighth-block resolution."""
+    if scale <= 0:
+        return ""
+    units = max(0.0, value / scale) * width
+    full, fraction = divmod(units, 1.0)
+    bar = _FULL * int(full)
+    eighths = int(fraction * 8)
+    if eighths:
+        bar += _PARTIAL[eighths]
+    return bar
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart, one row per (label, value).
+
+    Args:
+        labels: Row labels (left column).
+        values: Non-negative values, one per label.
+        width: Character width of the largest bar.
+        title: Optional heading line.
+        unit: Suffix appended to the printed value (e.g. ``"x"``).
+    """
+    if len(labels) != len(values):
+        raise ValueError("need one value per label")
+    if not labels:
+        raise ValueError("chart needs at least one row")
+    if any(v < 0 for v in values):
+        raise ValueError("bar charts need non-negative values")
+    scale = max(values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = _bar(value, scale, width)
+        lines.append(
+            f"{str(label):<{label_width}}  {bar} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Several bar groups sharing one scale (the paper's figure shape:
+    one group per scheduler, one bar per thread).
+
+    Args:
+        groups: ``{group label: {bar label: value}}``.
+        width: Character width of the largest bar overall.
+        unit: Value suffix.
+    """
+    if not groups:
+        raise ValueError("chart needs at least one group")
+    all_values = [v for bars in groups.values() for v in bars.values()]
+    if not all_values:
+        raise ValueError("chart needs at least one bar")
+    if any(v < 0 for v in all_values):
+        raise ValueError("bar charts need non-negative values")
+    scale = max(all_values) or 1.0
+    label_width = max(
+        len(str(label)) for bars in groups.values() for label in bars
+    )
+    lines = []
+    for group, bars in groups.items():
+        lines.append(f"{group}:")
+        for label, value in bars.items():
+            bar = _bar(value, scale, width)
+            lines.append(
+                f"  {str(label):<{label_width}}  {bar} {value:.2f}{unit}"
+            )
+    return "\n".join(lines)

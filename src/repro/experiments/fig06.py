@@ -1,0 +1,30 @@
+"""Figure 6, case study I: a memory-intensive 4-core workload.
+
+mcf + libquantum + GemsFDTD + astar under all five schedulers.  Paper
+unfairness: FR-FCFS 7.28, FCFS 2.07, FR-FCFS+Cap 2.08, NFQ 1.87, STFM
+1.27 — with GemsFDTD (0.2% row-buffer hit rate) the FR-FCFS victim and
+mcf/astar the NFQ victims (idleness and access-balance problems).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.common import case_study, make_runner
+
+WORKLOAD = ["mcf", "libquantum", "GemsFDTD", "astar"]
+
+
+def run(scale="small") -> ExperimentResult:
+    scale = resolve_scale(scale)
+    runner = make_runner(4, scale)
+    rows, text = case_study(runner, WORKLOAD)
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Case study I: memory-intensive 4-core workload",
+        rows=rows,
+        text=text,
+        paper_reference=(
+            "Paper unfairness: FR-FCFS 7.28, FCFS 2.07, FR-FCFS+Cap 2.08, "
+            "NFQ 1.87, STFM 1.27; STFM +3% weighted / +8% hmean over NFQ."
+        ),
+    )

@@ -1,0 +1,31 @@
+"""Figure 8, case study III: a non-memory-intensive 4-core workload.
+
+libquantum + omnetpp + hmmer + h264ref (one intensive, three not).  The
+paper: FR-FCFS starves the non-intensive threads behind libquantum's
+row hits (unfairness 7.16); NFQ serializes omnetpp's and hmmer's bank
+parallelism (3.47x omnetpp); STFM reaches 1.21 with the best weighted
+(+2.7%) and hmean (+11.3%) speedups.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.common import case_study, make_runner
+
+WORKLOAD = ["libquantum", "omnetpp", "hmmer", "h264ref"]
+
+
+def run(scale="small") -> ExperimentResult:
+    scale = resolve_scale(scale)
+    runner = make_runner(4, scale)
+    rows, text = case_study(runner, WORKLOAD)
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Case study III: non-memory-intensive 4-core workload",
+        rows=rows,
+        text=text,
+        paper_reference=(
+            "Paper unfairness: FR-FCFS 7.16, FCFS 1.49, FR-FCFS+Cap 1.52, "
+            "NFQ 1.94, STFM 1.21."
+        ),
+    )

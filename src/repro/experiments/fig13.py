@@ -1,0 +1,30 @@
+"""Figure 13: Windows desktop workload (Section 7.4).
+
+Two memory-intensive background threads (xml-parser, matlab) with two
+interactive foreground threads (iexplorer, instant-messenger).  Paper
+unfairness: FR-FCFS 8.88, FCFS 7.42, FR-FCFS+Cap 7.51, NFQ 1.75, STFM
+1.37 — NFQ still penalizes the foreground apps because their accesses
+concentrate on two/three banks (access-balance problem).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.common import case_study, make_runner
+from repro.workloads.desktop import DESKTOP_WORKLOAD
+
+
+def run(scale="small") -> ExperimentResult:
+    scale = resolve_scale(scale)
+    runner = make_runner(4, scale)
+    rows, text = case_study(runner, list(DESKTOP_WORKLOAD))
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Desktop 4-core workload (background vs foreground apps)",
+        rows=rows,
+        text=text,
+        paper_reference=(
+            "Paper unfairness: FR-FCFS 8.88, FCFS 7.42, FR-FCFS+Cap 7.51, "
+            "NFQ 1.75, STFM 1.37; STFM +5.4% weighted / +10.7% hmean."
+        ),
+    )

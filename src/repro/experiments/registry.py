@@ -1,0 +1,71 @@
+"""Registry mapping experiment ids to their entry points."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    attack,
+    extension_parbs,
+    fig01,
+    fig03,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table3,
+    table5,
+)
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig01.run,
+    "fig3": fig03.run,
+    "fig5": fig05.run,
+    "fig6": fig06.run,
+    "fig7": fig07.run,
+    "fig8": fig08.run,
+    "fig9": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "table3": table3.run,
+    "table5": table5.run,
+    # Ablations beyond the paper's printed figures (see ablations.py).
+    "ablate-gamma": ablations.run_gamma,
+    "ablate-interval": ablations.run_interval,
+    "ablate-estimator": ablations.run_estimator_basis,
+    "ablate-cap": ablations.run_cap,
+    "ablate-page-policy": ablations.run_page_policy,
+    "ablate-refresh": ablations.run_refresh,
+    # The denial-of-memory-service scenario of the paper's reference [20].
+    "attack": attack.run,
+    # Head-to-head with the successor scheduler (ISCA 2008).
+    "extension-parbs": extension_parbs.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    try:
+        return EXPERIMENTS[experiment_id.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, scale="small") -> ExperimentResult:
+    """Run one experiment by id at the given scale."""
+    return get_experiment(experiment_id)(scale=scale)

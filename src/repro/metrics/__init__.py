@@ -1,0 +1,18 @@
+"""Fairness and throughput metrics (Section 6.2 of the paper)."""
+
+from repro.metrics.fairness import memory_slowdown, unfairness_index
+from repro.metrics.throughput import (
+    hmean_speedup,
+    sum_of_ipcs,
+    weighted_speedup,
+)
+from repro.metrics.stats import geometric_mean
+
+__all__ = [
+    "geometric_mean",
+    "hmean_speedup",
+    "memory_slowdown",
+    "sum_of_ipcs",
+    "unfairness_index",
+    "weighted_speedup",
+]

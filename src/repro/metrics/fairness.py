@@ -1,0 +1,34 @@
+"""Fairness metrics.
+
+The paper's unfairness index is the ratio between the maximum and the
+minimum memory-related slowdown among the threads sharing the DRAM
+system (Section 6.2); 1 is perfectly fair.  A thread's memory slowdown
+is its memory stall time per instruction (MCPI) running shared, divided
+by its MCPI running alone in the same memory system under FR-FCFS.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def memory_slowdown(mcpi_shared: float, mcpi_alone: float) -> float:
+    """``MemSlowdown_i = MCPI_shared / MCPI_alone``.
+
+    Threads with (near-)zero alone stall time are clamped to avoid
+    division blow-ups from simulation noise; such threads barely touch
+    memory and their slowdown is dominated by measurement granularity.
+    """
+    if mcpi_shared < 0 or mcpi_alone < 0:
+        raise ValueError("MCPI cannot be negative")
+    floor = 1e-6
+    return max(mcpi_shared, floor) / max(mcpi_alone, floor)
+
+
+def unfairness_index(slowdowns: Sequence[float]) -> float:
+    """``max_i MemSlowdown_i / min_i MemSlowdown_i`` (>= 1)."""
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    if any(s <= 0 for s in slowdowns):
+        raise ValueError("slowdowns must be positive")
+    return max(slowdowns) / min(slowdowns)

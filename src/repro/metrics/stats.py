@@ -1,0 +1,21 @@
+"""Small statistics helpers used when aggregating over workloads."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the paper's aggregate over workloads (GMEAN)."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("need at least one value")
+    return sum(values) / len(values)

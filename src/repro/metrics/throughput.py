@@ -1,0 +1,51 @@
+"""System-throughput metrics (Section 6.2).
+
+* **Weighted speedup** [Snavely & Tullsen]: sum of per-thread relative
+  IPCs — the paper's primary throughput metric.
+* **Hmean speedup** [Luo et al.]: harmonic mean of relative IPCs,
+  balancing fairness and throughput.
+* **Sum of IPCs**: raw IPC total; reported by the paper only to expose
+  schedulers that pump non-memory-intensive threads, and to be
+  "interpreted with extreme caution".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _validate(shared: Sequence[float], alone: Sequence[float]) -> None:
+    if len(shared) != len(alone):
+        raise ValueError("need one alone IPC per shared IPC")
+    if not shared:
+        raise ValueError("need at least one thread")
+    if any(ipc <= 0 for ipc in alone):
+        raise ValueError("alone IPCs must be positive")
+    if any(ipc < 0 for ipc in shared):
+        raise ValueError("shared IPCs cannot be negative")
+
+
+def weighted_speedup(
+    ipc_shared: Sequence[float], ipc_alone: Sequence[float]
+) -> float:
+    """``sum_i IPC_i^shared / IPC_i^alone``."""
+    _validate(ipc_shared, ipc_alone)
+    return sum(s / a for s, a in zip(ipc_shared, ipc_alone))
+
+
+def hmean_speedup(
+    ipc_shared: Sequence[float], ipc_alone: Sequence[float]
+) -> float:
+    """``NumThreads / sum_i (IPC_i^alone / IPC_i^shared)``."""
+    _validate(ipc_shared, ipc_alone)
+    floor = 1e-9
+    return len(ipc_shared) / sum(
+        a / max(s, floor) for s, a in zip(ipc_shared, ipc_alone)
+    )
+
+
+def sum_of_ipcs(ipc_shared: Sequence[float]) -> float:
+    """``sum_i IPC_i^shared`` — throughput only, fairness-blind."""
+    if not ipc_shared:
+        raise ValueError("need at least one thread")
+    return sum(ipc_shared)

@@ -1,0 +1,22 @@
+"""DRAM scheduling policies evaluated in the paper.
+
+Baselines: FR-FCFS (Section 2.4), FCFS, FR-FCFS+Cap and NFQ (Section 4).
+The paper's contribution, STFM, lives in :mod:`repro.core`.
+"""
+
+from repro.schedulers.base import SchedulingPolicy
+from repro.schedulers.fcfs import FcfsPolicy
+from repro.schedulers.frfcfs import FrFcfsPolicy
+from repro.schedulers.frfcfs_cap import FrFcfsCapPolicy
+from repro.schedulers.nfq import NfqPolicy
+from repro.schedulers.registry import available_policies, make_policy
+
+__all__ = [
+    "FcfsPolicy",
+    "FrFcfsCapPolicy",
+    "FrFcfsPolicy",
+    "NfqPolicy",
+    "SchedulingPolicy",
+    "available_policies",
+    "make_policy",
+]

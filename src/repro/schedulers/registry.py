@@ -1,0 +1,90 @@
+"""Factory for the five scheduling policies evaluated in the paper."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.schedulers.base import SchedulingPolicy
+from repro.schedulers.fcfs import FcfsPolicy
+from repro.schedulers.frfcfs import FrFcfsPolicy
+from repro.schedulers.frfcfs_cap import FrFcfsCapPolicy
+from repro.schedulers.nfq import NfqPolicy
+from repro.schedulers.parbs import ParBsPolicy
+
+
+def _make_frfcfs(num_threads: int, **kwargs) -> SchedulingPolicy:
+    return FrFcfsPolicy()
+
+
+def _make_fcfs(num_threads: int, **kwargs) -> SchedulingPolicy:
+    return FcfsPolicy()
+
+
+def _make_frfcfs_cap(num_threads: int, **kwargs) -> SchedulingPolicy:
+    return FrFcfsCapPolicy(cap=kwargs.get("cap", 4))
+
+
+def _make_nfq(num_threads: int, **kwargs) -> SchedulingPolicy:
+    return NfqPolicy(num_threads, shares=kwargs.get("shares"))
+
+
+def _make_parbs(num_threads: int, **kwargs) -> SchedulingPolicy:
+    return ParBsPolicy(num_threads, marking_cap=kwargs.get("marking_cap", 5))
+
+
+def _make_stfm(num_threads: int, **kwargs) -> SchedulingPolicy:
+    from repro.core.stfm import StfmPolicy
+
+    return StfmPolicy(
+        num_threads,
+        alpha=kwargs.get("alpha", 1.10),
+        gamma=kwargs.get("gamma", 1.0),
+        interval_length=kwargs.get("interval_length", 1 << 24),
+        weights=kwargs.get("weights"),
+        interference_basis=kwargs.get("interference_basis", "waiting"),
+    )
+
+
+_FACTORIES: dict[str, Callable[..., SchedulingPolicy]] = {
+    "fr-fcfs": _make_frfcfs,
+    "fcfs": _make_fcfs,
+    "fr-fcfs+cap": _make_frfcfs_cap,
+    "nfq": _make_nfq,
+    "stfm": _make_stfm,
+    # Extension: the batch scheduler that succeeded STFM (ISCA 2008).
+    "par-bs": _make_parbs,
+}
+
+#: Canonical display names, in the order the paper's figures use.  The
+#: extension scheduler PAR-BS is additionally available via
+#: :func:`make_policy` but excluded from paper-figure sweeps.
+PAPER_ORDER = ["fr-fcfs", "fcfs", "fr-fcfs+cap", "nfq", "stfm"]
+
+
+def available_policies(include_extensions: bool = False) -> list[str]:
+    """Names accepted by :func:`make_policy`, in the paper's order."""
+    names = list(PAPER_ORDER)
+    if include_extensions:
+        names.append("par-bs")
+    return names
+
+
+def make_policy(name: str, num_threads: int, **kwargs) -> SchedulingPolicy:
+    """Instantiate a scheduling policy by name.
+
+    Args:
+        name: One of ``fr-fcfs``, ``fcfs``, ``fr-fcfs+cap``, ``nfq``,
+            ``stfm`` (case-insensitive).
+        num_threads: Threads sharing the memory system (needed by the
+            thread-aware policies).
+        **kwargs: Policy-specific options — ``cap`` for FR-FCFS+Cap;
+            ``shares`` for NFQ; ``alpha``, ``gamma``, ``interval_length``
+            and ``weights`` for STFM.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {', '.join(PAPER_ORDER)}"
+        ) from None
+    return factory(num_threads, **kwargs)

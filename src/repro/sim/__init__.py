@@ -1,0 +1,15 @@
+"""Full-system simulation: configuration, the CMP system, and the
+run-alone/run-shared experiment methodology (Section 6)."""
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import ThreadResult, WorkloadResult
+from repro.sim.runner import ExperimentRunner
+from repro.sim.system import CmpSystem
+
+__all__ = [
+    "CmpSystem",
+    "ExperimentRunner",
+    "SystemConfig",
+    "ThreadResult",
+    "WorkloadResult",
+]

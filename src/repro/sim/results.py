@@ -1,0 +1,93 @@
+"""Result records of shared-workload runs and their formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.fairness import unfairness_index
+from repro.metrics.throughput import hmean_speedup, sum_of_ipcs, weighted_speedup
+
+
+@dataclass(frozen=True)
+class ThreadResult:
+    """Per-thread outcome of one shared run (vs. its alone baseline)."""
+
+    name: str
+    ipc_alone: float
+    ipc_shared: float
+    mcpi_alone: float
+    mcpi_shared: float
+    slowdown: float
+    row_hit_rate_shared: float = 0.0
+
+    @property
+    def relative_ipc(self) -> float:
+        return self.ipc_shared / self.ipc_alone if self.ipc_alone else 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of one workload under one scheduling policy."""
+
+    policy: str
+    threads: tuple[ThreadResult, ...]
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def slowdowns(self) -> list[float]:
+        return [t.slowdown for t in self.threads]
+
+    @property
+    def unfairness(self) -> float:
+        return unfairness_index(self.slowdowns)
+
+    @property
+    def weighted_speedup(self) -> float:
+        return weighted_speedup(
+            [t.ipc_shared for t in self.threads],
+            [t.ipc_alone for t in self.threads],
+        )
+
+    @property
+    def hmean_speedup(self) -> float:
+        return hmean_speedup(
+            [t.ipc_shared for t in self.threads],
+            [t.ipc_alone for t in self.threads],
+        )
+
+    @property
+    def sum_of_ipcs(self) -> float:
+        return sum_of_ipcs([t.ipc_shared for t in self.threads])
+
+    def summary_row(self) -> dict:
+        """Flat metric row, convenient for table printing."""
+        return {
+            "policy": self.policy,
+            "unfairness": self.unfairness,
+            "weighted_speedup": self.weighted_speedup,
+            "hmean_speedup": self.hmean_speedup,
+            "sum_of_ipcs": self.sum_of_ipcs,
+        }
+
+
+def format_table(headers: list[str], rows: list[list], precision: int = 2) -> str:
+    """Simple monospace table used by the experiment harness output."""
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Run-alone / run-shared experiment methodology (Section 6.2).
+
+A thread's memory slowdown compares its shared-run MCPI against the MCPI
+it achieves *running alone in the same memory system under FR-FCFS*.
+The runner generates one trace per (benchmark, core slot), reuses it for
+both the alone baseline and the shared run, and caches alone baselines
+across workloads — the baseline depends only on the memory system, not
+on the co-runners.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import CoreSnapshot
+from repro.schedulers.base import SchedulingPolicy
+from repro.schedulers.registry import make_policy
+from repro.sim.config import SystemConfig
+from repro.sim.results import ThreadResult, WorkloadResult
+from repro.sim.system import CmpSystem
+from repro.workloads.spec2006 import BenchmarkSpec, benchmark
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+Workload = list["str | BenchmarkSpec"]
+
+
+def resolve_spec(item: "str | BenchmarkSpec") -> BenchmarkSpec:
+    """Accept either a registry name or an explicit spec."""
+    if isinstance(item, BenchmarkSpec):
+        return item
+    return benchmark(item)
+
+
+class ExperimentRunner:
+    """Runs workloads under scheduling policies and computes slowdowns."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        instruction_budget: int = 20_000,
+        seed: int = 0,
+        min_reads: int = 100,
+        max_budget_factor: int = 50,
+    ) -> None:
+        """Create a runner.
+
+        Args:
+            config: The system under test.
+            instruction_budget: Base per-thread instruction budget.
+            seed: Workload-generation seed.
+            min_reads: Non-memory-intensive benchmarks get their budget
+                extended so their trace contains at least this many demand
+                reads — otherwise their MCPI (and thus slowdown) would be
+                statistical noise.  The paper's uniform 100M-instruction
+                budgets provide this implicitly.
+            max_budget_factor: Cap on the budget extension.
+        """
+        if instruction_budget < 1:
+            raise ValueError("instruction budget must be positive")
+        self.config = config
+        self.instruction_budget = instruction_budget
+        self.seed = seed
+        self.min_reads = min_reads
+        self.max_budget_factor = max_budget_factor
+        self._alone_cache: dict[tuple, CoreSnapshot] = {}
+        self._trace_cache: dict[tuple, object] = {}
+
+    def budget_for(self, name: "str | BenchmarkSpec") -> int:
+        """Per-benchmark instruction budget (see ``min_reads``)."""
+        spec = resolve_spec(name)
+        base = self.instruction_budget
+        if spec.mpki <= 0:
+            return base
+        needed = int(self.min_reads * 1000.0 / spec.mpki)
+        return min(max(base, needed), base * self.max_budget_factor)
+
+    # -- trace management ---------------------------------------------------
+    def trace_for(
+        self, name: "str | BenchmarkSpec", partition: int, num_partitions: int
+    ):
+        spec = resolve_spec(name)
+        key = (spec, partition, num_partitions)
+        trace = self._trace_cache.get(key)
+        if trace is None:
+            generator = SyntheticTraceGenerator(self.config.mapper(), self.seed)
+            trace = generator.trace_for(
+                spec,
+                self.budget_for(name),
+                partition=partition,
+                num_partitions=num_partitions,
+            )
+            self._trace_cache[key] = trace
+        return trace
+
+    # -- alone baselines ------------------------------------------------------
+    def alone_snapshot(
+        self, name: "str | BenchmarkSpec", partition: int, num_partitions: int
+    ) -> CoreSnapshot:
+        """Run (or recall) the benchmark alone under FR-FCFS."""
+        spec = resolve_spec(name)
+        budget = self.budget_for(spec)
+        key = (
+            spec,
+            partition,
+            num_partitions,
+            budget,
+            self.seed,
+            self.config.memory_key(),
+        )
+        snapshot = self._alone_cache.get(key)
+        if snapshot is None:
+            trace = self.trace_for(spec, partition, num_partitions)
+            policy = make_policy("fr-fcfs", num_threads=1)
+            system = CmpSystem(
+                self.config,
+                [trace],
+                policy,
+                budget,
+                mlp_limits=[spec.mlp],
+            )
+            snapshot = system.run()[0]
+            self._alone_cache[key] = snapshot
+        return snapshot
+
+    # -- shared runs ---------------------------------------------------------
+    def run_workload(
+        self,
+        names: Workload,
+        policy: str | SchedulingPolicy = "fr-fcfs",
+        policy_kwargs: dict | None = None,
+    ) -> WorkloadResult:
+        """Run a multiprogrammed workload and compute all metrics.
+
+        Args:
+            names: Benchmark names or explicit specs, one per core
+                (duplicates allowed — each core slot gets its own
+                address partition).
+            policy: Policy name (see :func:`repro.schedulers.make_policy`)
+                or an already-constructed policy instance.
+            policy_kwargs: Extra options for the policy factory.
+        """
+        if not names:
+            raise ValueError("workload cannot be empty")
+        if len(names) > self.config.num_cores:
+            raise ValueError(
+                f"{len(names)} benchmarks for {self.config.num_cores} cores"
+            )
+        specs = [resolve_spec(name) for name in names]
+        num = len(specs)
+        traces = [self.trace_for(spec, i, num) for i, spec in enumerate(specs)]
+        if isinstance(policy, SchedulingPolicy):
+            policy_obj = policy
+            policy_name = policy.name
+        else:
+            policy_obj = make_policy(policy, num_threads=num, **(policy_kwargs or {}))
+            policy_name = policy_obj.name
+        budgets = [self.budget_for(spec) for spec in specs]
+        mlp_limits = [spec.mlp for spec in specs]
+        system = CmpSystem(
+            self.config, traces, policy_obj, budgets, mlp_limits=mlp_limits
+        )
+        snapshots = system.run()
+
+        threads = []
+        for i, spec in enumerate(specs):
+            alone = self.alone_snapshot(spec, i, num)
+            shared = snapshots[i]
+            mem_stats = system.controller.thread_stats[i]
+            threads.append(
+                ThreadResult(
+                    name=spec.name,
+                    ipc_alone=alone.ipc,
+                    ipc_shared=shared.ipc,
+                    mcpi_alone=alone.mcpi,
+                    mcpi_shared=shared.mcpi,
+                    slowdown=_slowdown(shared.mcpi, alone.mcpi),
+                    row_hit_rate_shared=mem_stats.row_hit_rate,
+                )
+            )
+        extras = {"cycles": system.now}
+        if hasattr(policy_obj, "fairness_rule_fraction"):
+            extras["fairness_rule_fraction"] = policy_obj.fairness_rule_fraction
+        return WorkloadResult(
+            policy=policy_name, threads=tuple(threads), extras=extras
+        )
+
+    def run_policies(
+        self,
+        names: Workload,
+        policies: list[str],
+        policy_kwargs: dict[str, dict] | None = None,
+    ) -> dict[str, WorkloadResult]:
+        """Run one workload under several policies (the case-study shape)."""
+        kwargs = policy_kwargs or {}
+        return {
+            policy: self.run_workload(names, policy, kwargs.get(policy))
+            for policy in policies
+        }
+
+
+def _slowdown(mcpi_shared: float, mcpi_alone: float) -> float:
+    from repro.metrics.fairness import memory_slowdown
+
+    return memory_slowdown(mcpi_shared, mcpi_alone)

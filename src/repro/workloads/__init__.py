@@ -1,0 +1,43 @@
+"""Workloads: benchmark characteristics and synthetic trace generation.
+
+The paper drives its simulator with Pin traces of SPEC CPU2006 (Table 3)
+and Windows desktop applications (Table 4).  We reproduce each benchmark
+as a :class:`BenchmarkSpec` carrying the paper-reported characteristics
+(memory intensity, row-buffer locality, category) plus the behavioural
+annotations the paper's case studies call out (bank-access skew,
+burstiness, pointer-chasing dependence), and synthesize seeded L2-miss
+traces matching those statistics — see DESIGN.md, substitution 1.
+"""
+
+from repro.workloads.desktop import DESKTOP_BENCHMARKS
+from repro.workloads.spec2006 import (
+    BenchmarkSpec,
+    SPEC2006,
+    benchmark,
+    benchmarks_by_category,
+    intensive_order,
+)
+from repro.workloads.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.workloads.mixes import (
+    category_pattern_workloads,
+    sample_workloads_4core,
+    sample_workloads_8core,
+    sixteen_core_workloads,
+    workload_name,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "DESKTOP_BENCHMARKS",
+    "SPEC2006",
+    "SyntheticTraceGenerator",
+    "benchmark",
+    "benchmarks_by_category",
+    "category_pattern_workloads",
+    "generate_trace",
+    "intensive_order",
+    "sample_workloads_4core",
+    "sample_workloads_8core",
+    "sixteen_core_workloads",
+    "workload_name",
+]

@@ -1,0 +1,195 @@
+"""SPEC CPU2006 benchmark characteristics (the paper's Table 3).
+
+``MCPI`` (memory cycles per instruction) and ``MPKI`` (L2 misses per
+kilo-instruction) and the row-buffer hit rate are the run-alone values
+the paper measured; ``category`` encodes (memory intensiveness,
+row-buffer locality): 0 = not-intensive/low-RB, 1 = not-intensive/
+high-RB, 2 = intensive/low-RB, 3 = intensive/high-RB.
+
+The behavioural fields beyond Table 3 encode what the paper's case
+studies report about individual benchmarks:
+
+* dealII's and astar's accesses are "heavily skewed/concentrated in only
+  two DRAM banks" (footnote 16, Section 7.2.1) — ``bank_focus = 2``;
+* mcf "continuously generates memory requests" while libquantum,
+  GemsFDTD and astar "have bursty access patterns" (Section 7.2.1);
+* omnetpp's and hmmer's performance collapses when their bank
+  parallelism is destroyed because they serialize on individual misses
+  (Section 7.2.3) — high ``dependence`` (pointer chasing / low MLP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Characteristics of one benchmark, as the trace generator needs them.
+
+    Attributes:
+        name: Benchmark name (without the SPEC numeric prefix).
+        itype: 'INT' or 'FP'.
+        mcpi: Paper-measured memory cycles per instruction (run alone);
+            reported for reference, not a generator input.
+        mpki: L2 misses (reads) per 1000 instructions — sets the density
+            of memory operations in the generated trace.
+        rb_hit_rate: Row-buffer hit rate when run alone — sets the
+            probability that consecutive accesses stay in the same row.
+        category: The paper's 4-way classification (see module docstring).
+        burstiness: Fraction of inter-miss compute concentrated into
+            inter-burst gaps; 0 = evenly spaced misses, near 1 = tight
+            bursts separated by long idle periods.
+        burst_len: Average misses per burst.
+        bank_focus: If set, the number of banks receiving the bulk of the
+            thread's accesses (the access-balance problem's trigger).
+        bank_focus_weight: Fraction of row switches landing on the
+            focused banks.
+        dependence: Probability a load depends on the previous load
+            (cannot issue until it returns) — limits MLP.
+        mlp: Maximum outstanding misses the application sustains
+            (memory-level parallelism).  Derived from Table 3: the
+            paper's MCPI/MPKI ratios imply per-miss stalls close to the
+            full uncontended latency, i.e. MLP of roughly 1-3 — far
+            below what a 128-entry window could theoretically extract.
+        write_fraction: Writebacks emitted per demand read.
+        streaming: Sequential (streaming) access pattern rather than
+            random rows — libquantum's signature behaviour.
+        periodic_bursts: Deterministic on/off burst schedule instead of
+            randomized bursts, phase-staggered across address partitions.
+            Used by the idleness-problem micro-experiment (the paper's
+            Figure 3, where each bursty thread is active in a different
+            interval).
+    """
+
+    name: str
+    itype: str
+    mcpi: float
+    mpki: float
+    rb_hit_rate: float
+    category: int
+    burstiness: float = 0.5
+    burst_len: int = 6
+    bank_focus: int | None = None
+    bank_focus_weight: float = 0.9
+    dependence: float = 0.1
+    mlp: int = 3
+    write_fraction: float = 0.15
+    streaming: bool = False
+    periodic_bursts: bool = False
+
+    @property
+    def intensive(self) -> bool:
+        return self.category >= 2
+
+    @property
+    def high_locality(self) -> bool:
+        return self.category in (1, 3)
+
+    def with_overrides(self, **kwargs) -> "BenchmarkSpec":
+        """A copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+def _spec(
+    name: str,
+    itype: str,
+    mcpi: float,
+    mpki: float,
+    rb_hit: float,
+    category: int,
+    **kwargs,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        itype=itype,
+        mcpi=mcpi,
+        mpki=mpki,
+        rb_hit_rate=rb_hit,
+        category=category,
+        **kwargs,
+    )
+
+
+#: Table 3, ordered by memory intensiveness as in the paper's figures.
+SPEC2006: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec("mcf", "INT", 10.02, 101.06, 0.419, 2,
+              burstiness=0.1, burst_len=12, dependence=0.25, mlp=16),
+        _spec("libquantum", "INT", 9.10, 50.00, 0.984, 3,
+              burstiness=0.2, burst_len=16, streaming=True, dependence=0.0,
+              mlp=10),
+        _spec("leslie3d", "FP", 7.82, 36.21, 0.825, 3,
+              burstiness=0.7, burst_len=10, mlp=8),
+        _spec("soplex", "FP", 7.48, 45.66, 0.639, 3,
+              burstiness=0.4, burst_len=8, mlp=10),
+        _spec("milc", "FP", 6.74, 51.05, 0.9177, 3,
+              burstiness=0.1, burst_len=10, mlp=10),
+        _spec("lbm", "FP", 6.44, 43.46, 0.546, 3,
+              burstiness=0.1, burst_len=10, mlp=10),
+        _spec("sphinx3", "FP", 5.49, 24.97, 0.578, 3,
+              burstiness=0.5, burst_len=6, mlp=8),
+        _spec("GemsFDTD", "FP", 3.87, 17.62, 0.002, 2,
+              burstiness=0.6, burst_len=6, mlp=6),
+        _spec("cactusADM", "FP", 3.53, 14.66, 0.020, 2,
+              burstiness=0.4, burst_len=6, mlp=6),
+        _spec("xalancbmk", "INT", 3.18, 21.66, 0.548, 3,
+              burstiness=0.4, burst_len=6, mlp=8),
+        _spec("astar", "INT", 2.02, 9.25, 0.448, 0,
+              burstiness=0.7, burst_len=4, bank_focus=2, dependence=0.4, mlp=4),
+        _spec("omnetpp", "INT", 1.78, 13.83, 0.219, 0,
+              burstiness=0.6, burst_len=3, dependence=0.3, mlp=3),
+        _spec("hmmer", "INT", 1.52, 5.82, 0.327, 0,
+              burstiness=0.6, burst_len=3, dependence=0.3, mlp=2),
+        _spec("h264ref", "INT", 0.71, 3.22, 0.653, 1,
+              burstiness=0.8, burst_len=5, mlp=4),
+        _spec("bzip2", "INT", 0.55, 3.55, 0.414, 0,
+              burstiness=0.7, burst_len=4, mlp=4),
+        _spec("gromacs", "FP", 0.37, 1.26, 0.410, 1,
+              burstiness=0.7, burst_len=3),
+        _spec("gobmk", "INT", 0.19, 0.94, 0.568, 1,
+              burstiness=0.7, burst_len=3),
+        _spec("dealII", "FP", 0.16, 0.86, 0.902, 1,
+              burstiness=0.7, burst_len=4, bank_focus=2, mlp=2),
+        _spec("wrf", "FP", 0.14, 0.77, 0.769, 1,
+              burstiness=0.7, burst_len=3),
+        _spec("sjeng", "INT", 0.12, 0.51, 0.234, 0,
+              burstiness=0.7, burst_len=2, dependence=0.4, mlp=2),
+        _spec("namd", "FP", 0.11, 0.54, 0.726, 1,
+              burstiness=0.7, burst_len=3),
+        _spec("tonto", "FP", 0.07, 0.39, 0.345, 0,
+              burstiness=0.7, burst_len=2),
+        _spec("gcc", "INT", 0.07, 0.42, 0.586, 1,
+              burstiness=0.7, burst_len=3),
+        _spec("calculix", "FP", 0.05, 0.29, 0.718, 1,
+              burstiness=0.7, burst_len=2),
+        _spec("perlbench", "INT", 0.03, 0.20, 0.698, 1,
+              burstiness=0.7, burst_len=2),
+        _spec("povray", "FP", 0.01, 0.09, 0.766, 1,
+              burstiness=0.7, burst_len=2),
+    ]
+}
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name (SPEC or desktop)."""
+    if name in SPEC2006:
+        return SPEC2006[name]
+    from repro.workloads.desktop import DESKTOP_BENCHMARKS
+
+    if name in DESKTOP_BENCHMARKS:
+        return DESKTOP_BENCHMARKS[name]
+    raise KeyError(f"unknown benchmark {name!r}")
+
+
+def benchmarks_by_category(category: int) -> list[BenchmarkSpec]:
+    """All SPEC benchmarks in one of the paper's four categories."""
+    if category not in (0, 1, 2, 3):
+        raise ValueError("category must be 0..3")
+    return [spec for spec in SPEC2006.values() if spec.category == category]
+
+
+def intensive_order() -> list[BenchmarkSpec]:
+    """Benchmarks ordered by memory intensiveness (Table 3 order)."""
+    return sorted(SPEC2006.values(), key=lambda spec: -spec.mcpi)

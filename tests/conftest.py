@@ -1,0 +1,99 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller.controller import MemoryController
+from repro.controller.request import MemoryRequest
+from repro.dram.address import AddressMapper
+from repro.dram.timing import DramTiming
+from repro.schedulers.base import SchedulingPolicy
+from repro.schedulers.frfcfs import FrFcfsPolicy
+from repro.sim.config import SystemConfig
+
+
+@pytest.fixture
+def timing() -> DramTiming:
+    return DramTiming()
+
+
+@pytest.fixture
+def mapper() -> AddressMapper:
+    return AddressMapper(num_channels=1, num_banks=8)
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A 2-core config with a low safety ceiling for unit tests."""
+    return SystemConfig(num_cores=2, max_cycles=20_000_000)
+
+
+class ControllerHarness:
+    """Drives a MemoryController directly, without cores.
+
+    Submits requests at given times and ticks the controller until all
+    submitted reads complete, recording completion order and times.
+    """
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy | None = None,
+        num_threads: int = 2,
+        num_channels: int = 1,
+        num_banks: int = 8,
+        timing: DramTiming | None = None,
+        **controller_kwargs,
+    ) -> None:
+        self.timing = timing or DramTiming()
+        self.mapper = AddressMapper(num_channels=num_channels, num_banks=num_banks)
+        self.controller = MemoryController(
+            timing=self.timing,
+            mapper=self.mapper,
+            num_threads=num_threads,
+            policy=policy or FrFcfsPolicy(),
+            **controller_kwargs,
+        )
+        self.now = 0
+        self.pending: list[MemoryRequest] = []
+
+    def address(self, bank: int, row: int, column: int = 0, channel: int = 0) -> int:
+        return self.mapper.compose(channel, bank, row, column)
+
+    def submit(
+        self,
+        thread: int,
+        bank: int,
+        row: int,
+        column: int = 0,
+        is_write: bool = False,
+        channel: int = 0,
+    ) -> MemoryRequest:
+        address = self.address(bank, row, column, channel)
+        request = self.controller.make_request(thread, address, is_write, self.now)
+        assert self.controller.submit(request, self.now), "request buffer full"
+        if not is_write:
+            self.pending.append(request)
+        return request
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance by ``cycles`` DRAM cycles."""
+        for _ in range(cycles):
+            self.controller.tick(self.now)
+            self.now += self.timing.dram_cycle
+
+    def run_until_done(self, limit: int = 100_000) -> list[MemoryRequest]:
+        """Tick until all submitted reads are complete; returns them in
+        completion order."""
+        ticks = 0
+        while any(r.completed_at is None for r in self.pending):
+            self.tick()
+            ticks += 1
+            if ticks > limit:
+                raise AssertionError("requests did not complete in time")
+        return sorted(self.pending, key=lambda r: r.completed_at)
+
+
+@pytest.fixture
+def harness() -> ControllerHarness:
+    return ControllerHarness()

@@ -1,0 +1,133 @@
+"""Tests for the paper-comparison and report-generation machinery."""
+
+import pytest
+
+from repro.analysis.compare import (
+    OrderingCheck,
+    ordering_agreement,
+    spread,
+    stfm_is_best,
+    trend_direction,
+)
+from repro.analysis.paper_data import PAPER_UNFAIRNESS, POLICY_ORDER
+from repro.analysis.report import generate_report
+
+
+class TestOrderingAgreement:
+    def test_full_agreement(self):
+        paper = {"A": 5.0, "B": 2.0, "C": 1.0}
+        measured = {"A": 3.0, "B": 2.5, "C": 1.1}
+        check = ordering_agreement(paper, measured)
+        assert check.score == 1.0
+        assert check.comparisons == 3
+
+    def test_disagreement_recorded(self):
+        paper = {"A": 5.0, "B": 1.0}
+        measured = {"A": 1.0, "B": 5.0}
+        check = ordering_agreement(paper, measured)
+        assert check.score == 0.0
+        assert check.disagreements == (("A", "B"),)
+
+    def test_none_values_skipped(self):
+        paper = {"A": 5.0, "B": None, "C": 1.0}
+        measured = {"A": 3.0, "B": 100.0, "C": 1.0}
+        check = ordering_agreement(paper, measured)
+        assert check.comparisons == 1
+
+    def test_paper_ties_skipped(self):
+        paper = {"A": 2.07, "B": 2.08}  # the paper's FCFS vs Cap tie
+        measured = {"A": 3.0, "B": 1.0}
+        check = ordering_agreement(paper, measured)
+        assert check.comparisons == 0
+        assert check.score == 1.0
+
+    def test_missing_measured_key_skipped(self):
+        paper = {"A": 5.0, "B": 1.0}
+        measured = {"A": 3.0}
+        assert ordering_agreement(paper, measured).comparisons == 0
+
+
+class TestHelpers:
+    def test_stfm_is_best(self):
+        assert stfm_is_best({"STFM": 1.0, "FR-FCFS": 2.0})
+        assert not stfm_is_best({"STFM": 3.0, "FR-FCFS": 2.0})
+        with pytest.raises(KeyError):
+            stfm_is_best({"FR-FCFS": 2.0})
+
+    def test_trend_direction(self):
+        assert trend_direction([1.0, 2.0, 3.0]) == "increasing"
+        assert trend_direction([3.0, 2.0, 1.0]) == "decreasing"
+        assert trend_direction([1.0, 1.01, 0.99]) == "flat"
+        assert trend_direction([1.0, 2.0, 1.0]) == "mixed"
+        assert trend_direction([1.0]) == "flat"
+
+    def test_spread(self):
+        assert spread({"a": 4.0, "b": 2.0, "c": None}) == 2.0
+        with pytest.raises(ValueError):
+            spread({"a": None})
+
+    def test_ordering_check_str(self):
+        assert "2/3" in str(OrderingCheck(2, 3))
+
+
+class TestPaperData:
+    def test_all_case_studies_have_all_policies(self):
+        for experiment_id in ("fig6", "fig7", "fig8", "fig10", "fig13", "fig9"):
+            values = PAPER_UNFAIRNESS[experiment_id]
+            assert set(values) == set(POLICY_ORDER)
+            assert all(v is not None for v in values.values())
+
+    def test_stfm_always_best_in_paper(self):
+        """Sanity: the transcribed numbers show STFM winning everywhere
+        the paper quotes a full set."""
+        for values in PAPER_UNFAIRNESS.values():
+            present = {k: v for k, v in values.items() if v is not None}
+            if "STFM" in present:
+                assert present["STFM"] == min(present.values())
+
+
+class TestGenerateReport:
+    def _case_study_result(self):
+        return {
+            "experiment_id": "fig6",
+            "title": "t",
+            "paper_reference": "",
+            "rows": [
+                {"policy": "FR-FCFS", "unfairness": 4.0},
+                {"policy": "FCFS", "unfairness": 2.0},
+                {"policy": "FR-FCFS+Cap", "unfairness": 1.9},
+                {"policy": "NFQ", "unfairness": 1.7},
+                {"policy": "STFM", "unfairness": 1.2},
+            ],
+            "extras": {},
+        }
+
+    def test_case_study_section(self):
+        report = generate_report([self._case_study_result()])
+        assert "fig6" in report
+        assert "STFM fairest: **yes**" in report
+        assert "| FR-FCFS | 7.28 | 4.00 |" in report
+
+    def test_unknown_experiments_rendered_generically(self):
+        result = {
+            "experiment_id": "ablate-gamma",
+            "title": "gamma sweep",
+            "paper_reference": "ref",
+            "rows": [{"gamma": 0.5, "unfairness": 1.3}],
+            "extras": {},
+        }
+        report = generate_report([result])
+        assert "ablate-gamma" in report
+        assert "gamma sweep" in report
+
+    def test_full_results_file_round_trip(self, tmp_path):
+        """The report generator handles a real results file end to end."""
+        from repro.experiments import run_experiment
+        from repro.experiments.base import Scale
+        from repro.experiments.io import result_to_dict
+
+        results = [
+            result_to_dict(run_experiment("fig6", scale=Scale(budget=2_000)))
+        ]
+        report = generate_report(results)
+        assert "pairwise ordering" in report

@@ -1,0 +1,110 @@
+"""Tests for the DRAM bank state machine."""
+
+import pytest
+
+from repro.dram.bank import Bank, RowBufferOutcome
+from repro.dram.commands import CommandKind
+from repro.dram.timing import DramTiming
+
+
+@pytest.fixture
+def bank(timing) -> Bank:
+    return Bank(0, timing)
+
+
+class TestClassification:
+    def test_closed_bank(self, bank):
+        assert bank.classify(5) is RowBufferOutcome.ROW_CLOSED
+
+    def test_hit(self, bank):
+        bank.open_row = 5
+        assert bank.classify(5) is RowBufferOutcome.ROW_HIT
+
+    def test_conflict(self, bank):
+        bank.open_row = 4
+        assert bank.classify(5) is RowBufferOutcome.ROW_CONFLICT
+
+
+class TestNextCommand:
+    def test_closed_needs_activate(self, bank):
+        assert bank.next_command_for(5) is CommandKind.ACTIVATE
+
+    def test_hit_needs_column(self, bank):
+        bank.open_row = 5
+        assert bank.next_command_for(5) is CommandKind.READ
+
+    def test_conflict_needs_precharge(self, bank):
+        bank.open_row = 4
+        assert bank.next_command_for(5) is CommandKind.PRECHARGE
+
+
+class TestCommandLatency:
+    def test_precharge(self, bank, timing):
+        assert bank.command_latency(CommandKind.PRECHARGE) == timing.rp
+
+    def test_activate(self, bank, timing):
+        assert bank.command_latency(CommandKind.ACTIVATE) == timing.rcd
+
+    def test_column(self, bank, timing):
+        expected = timing.cl + timing.burst
+        assert bank.command_latency(CommandKind.READ) == expected
+        assert bank.command_latency(CommandKind.WRITE) == expected
+
+
+class TestReadiness:
+    def test_busy_bank_not_ready(self, bank):
+        bank.busy_until = 100
+        assert not bank.is_ready(CommandKind.ACTIVATE, 50)
+        assert bank.is_ready(CommandKind.ACTIVATE, 100)
+
+    def test_activate_requires_closed_row(self, bank):
+        bank.open_row = 3
+        bank.activated_at = -1000
+        assert not bank.is_ready(CommandKind.ACTIVATE, 0)
+
+    def test_column_requires_open_row(self, bank):
+        assert not bank.is_ready(CommandKind.READ, 0)
+        bank.open_row = 3
+        assert bank.is_ready(CommandKind.READ, 0)
+
+    def test_precharge_respects_tras(self, bank, timing):
+        bank.apply(CommandKind.ACTIVATE, 3, 0)
+        # Activate finishes at tRCD but tRAS must elapse before precharge.
+        assert not bank.is_ready(CommandKind.PRECHARGE, timing.rcd)
+        assert not bank.is_ready(CommandKind.PRECHARGE, timing.ras - 1)
+        assert bank.is_ready(CommandKind.PRECHARGE, timing.ras)
+
+    def test_precharge_on_closed_bank_not_tras_limited(self, bank):
+        assert bank.is_ready(CommandKind.PRECHARGE, 0)
+
+
+class TestApply:
+    def test_activate_opens_row_and_busies_for_trcd(self, bank, timing):
+        bank.apply(CommandKind.ACTIVATE, 7, 1000)
+        assert bank.open_row == 7
+        assert bank.activated_at == 1000
+        assert bank.busy_until == 1000 + timing.rcd
+
+    def test_precharge_closes_row_and_busies_for_trp(self, bank, timing):
+        bank.open_row = 7
+        bank.apply(CommandKind.PRECHARGE, 7, 500)
+        assert bank.open_row is None
+        assert bank.busy_until == 500 + timing.rp
+
+    def test_column_pipelines_at_burst_rate(self, bank, timing):
+        bank.open_row = 7
+        bank.apply(CommandKind.READ, 7, 200)
+        assert bank.open_row == 7  # the row stays open (open-page policy)
+        assert bank.busy_until == 200 + timing.burst
+
+    def test_full_row_cycle(self, bank, timing):
+        """Conflict sequence: precharge -> activate -> read."""
+        bank.apply(CommandKind.ACTIVATE, 1, 0)
+        now = timing.ras
+        bank.apply(CommandKind.PRECHARGE, 2, now)
+        assert bank.open_row is None
+        now = bank.busy_until
+        bank.apply(CommandKind.ACTIVATE, 2, now)
+        assert bank.open_row == 2
+        now = bank.busy_until
+        assert bank.is_ready(CommandKind.READ, now)

@@ -1,0 +1,109 @@
+"""Tests for the set-associative cache and trace filtering."""
+
+import pytest
+
+from repro.cpu.cache import Cache, filter_trace
+from repro.cpu.trace import Trace, TraceRecord
+
+
+class TestGeometry:
+    def test_default_l2_geometry(self):
+        cache = Cache()  # 512 KB, 8-way, 64 B lines
+        assert cache.num_sets == 1024
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1000, ways=3)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(size_bytes=4096, ways=2)
+        hit, writeback = cache.access(0x1000)
+        assert not hit and writeback is None
+        hit, _ = cache.access(0x1000)
+        assert hit
+        assert cache.stats.hit_rate == 0.5
+
+    def test_same_line_different_offset_hits(self):
+        cache = Cache(size_bytes=4096, ways=2)
+        cache.access(0x1000)
+        hit, _ = cache.access(0x1030)
+        assert hit
+
+    def test_lru_eviction(self):
+        cache = Cache(size_bytes=2 * 64, ways=2, line_bytes=64)  # 1 set, 2 ways
+        cache.access(0x0)
+        cache.access(0x40 * 1)  # same set (only one set)
+        cache.access(0x40 * 2)  # evicts 0x0 (LRU)
+        assert not cache.contains(0x0)
+        assert cache.contains(0x40)
+        hit, _ = cache.access(0x40)  # touching 0x40 makes it MRU
+        assert hit
+        cache.access(0x40 * 3)  # evicts 0x80 now
+        assert cache.contains(0x40)
+
+    def test_dirty_eviction_produces_writeback(self):
+        cache = Cache(size_bytes=2 * 64, ways=2, line_bytes=64)
+        cache.access(0x0, is_write=True)
+        cache.access(0x40)
+        _, writeback = cache.access(0x80)
+        assert writeback == 0x0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = Cache(size_bytes=2 * 64, ways=2, line_bytes=64)
+        cache.access(0x0)
+        cache.access(0x40)
+        _, writeback = cache.access(0x80)
+        assert writeback is None
+
+    def test_write_hit_marks_dirty(self):
+        cache = Cache(size_bytes=2 * 64, ways=2, line_bytes=64)
+        cache.access(0x0)
+        cache.access(0x0, is_write=True)
+        cache.access(0x40)
+        _, writeback = cache.access(0x80)
+        assert writeback == 0x0
+
+
+class TestFilterTrace:
+    def test_hits_folded_into_compute(self):
+        cache = Cache(size_bytes=4096, ways=2)
+        raw = Trace(
+            [
+                TraceRecord(10, False, 0x1000),
+                TraceRecord(5, False, 0x1000),  # hit: folded
+                TraceRecord(5, False, 0x2000),
+            ],
+            loop=False,
+        )
+        filtered = filter_trace(raw, cache)
+        assert filtered.memory_operations == 2
+        # 10 before the first miss; 5 + 1 (the folded hit) + 5 before the second.
+        assert filtered.records[0].compute == 10
+        assert filtered.records[1].compute == 11
+
+    def test_dirty_evictions_appended_as_writebacks(self):
+        cache = Cache(size_bytes=2 * 64, ways=2, line_bytes=64)
+        raw = Trace(
+            [
+                TraceRecord(1, True, 0x0),
+                TraceRecord(1, False, 0x40),
+                TraceRecord(1, False, 0x80),  # evicts dirty 0x0
+            ],
+            loop=False,
+        )
+        filtered = filter_trace(raw, cache)
+        # The original store to 0x0 is itself a miss record; the eviction
+        # writeback is the extra zero-compute write appended after the
+        # access that displaced it.
+        writebacks = [
+            r for r in filtered if r.is_write and r.address == 0x0 and r.compute == 0
+        ]
+        assert len(writebacks) == 1
+
+    def test_loop_flag_preserved(self):
+        cache = Cache(size_bytes=4096, ways=2)
+        raw = Trace([TraceRecord(1, False, 0x0)], loop=True)
+        assert filter_trace(raw, cache).loop is True

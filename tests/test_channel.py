@@ -1,0 +1,79 @@
+"""Tests for channel-level resource constraints (buses)."""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.commands import CommandKind
+from repro.dram.timing import DramTiming
+
+
+@pytest.fixture
+def channel(timing) -> Channel:
+    return Channel(0, 8, timing)
+
+
+class TestCommandBus:
+    def test_one_command_per_dram_cycle(self, channel):
+        bank = channel.banks[0]
+        assert channel.command_bus_free(0)
+        channel.issue(bank, CommandKind.ACTIVATE, 1, 0)
+        assert not channel.command_bus_free(0)
+        assert channel.command_bus_free(1)
+
+    def test_issue_counts_by_kind(self, channel):
+        bank = channel.banks[0]
+        channel.issue(bank, CommandKind.ACTIVATE, 1, 0)
+        channel.issue(bank, CommandKind.READ, 1, bank.busy_until)
+        assert channel.commands_issued[CommandKind.ACTIVATE] == 1
+        assert channel.commands_issued[CommandKind.READ] == 1
+
+
+class TestDataBus:
+    def test_column_reserves_data_bus(self, channel, timing):
+        bank = channel.banks[0]
+        bank.open_row = 1
+        data_end = channel.issue(bank, CommandKind.READ, 1, 100)
+        assert data_end == 100 + timing.cl + timing.burst
+        assert channel.data_bus_busy_until == data_end
+
+    def test_column_ready_respects_pipelining(self, channel, timing):
+        """A second CAS may issue once its data would follow the first."""
+        bank = channel.banks[0]
+        bank.open_row = 1
+        channel.issue(bank, CommandKind.READ, 1, 0)
+        # Data occupies [cl, cl+burst); the next CAS at `burst` lands its
+        # data exactly at the end of the current burst.
+        assert not channel.column_ready(timing.burst - timing.dram_cycle)
+        assert channel.column_ready(timing.burst)
+
+    def test_row_commands_ignore_data_bus(self, channel):
+        bank0, bank1 = channel.banks[0], channel.banks[1]
+        bank0.open_row = 1
+        channel.issue(bank0, CommandKind.READ, 1, 0)
+        # An activate in another bank is ready while data is in flight.
+        assert channel.is_ready(bank1, CommandKind.ACTIVATE, 10)
+
+    def test_utilization(self, channel, timing):
+        bank = channel.banks[0]
+        bank.open_row = 1
+        channel.issue(bank, CommandKind.READ, 1, 0)
+        assert channel.utilization(timing.burst * 2) == pytest.approx(0.5)
+        assert channel.utilization(0) == 0.0
+
+
+class TestIsReady:
+    def test_combines_bank_and_bus(self, channel, timing):
+        bank = channel.banks[2]
+        bank.open_row = 9
+        assert channel.is_ready(bank, CommandKind.READ, 0)
+        channel.issue(bank, CommandKind.READ, 9, 0)
+        # Same cycle: command bus taken.
+        assert not channel.is_ready(channel.banks[3], CommandKind.ACTIVATE, 0)
+        # Next DRAM cycle: command bus free, but data bus blocks columns.
+        other = channel.banks[3]
+        other.open_row = 4
+        other.activated_at = -1000  # tRAS long satisfied
+        assert not channel.is_ready(other, CommandKind.READ, timing.dram_cycle)
+        # Bank 3 has an open row, so activate is illegal; precharge works.
+        assert not channel.is_ready(other, CommandKind.ACTIVATE, timing.dram_cycle)
+        assert channel.is_ready(other, CommandKind.PRECHARGE, timing.dram_cycle)

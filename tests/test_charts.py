@@ -1,0 +1,68 @@
+"""Tests for the terminal bar-chart renderer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="x")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "1.00x" in lines[0]
+        assert "2.00x" in lines[1]
+        # The larger value gets the full width.
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_title(self):
+        text = bar_chart(["a"], [1.0], title="Slowdowns")
+        assert text.splitlines()[0] == "Slowdowns"
+
+    def test_labels_aligned(self):
+        text = bar_chart(["x", "long-label"], [1.0, 1.0])
+        lines = text.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_zero_values_ok(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0.00" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=12
+        )
+    )
+    def test_never_exceeds_width(self, values):
+        labels = [f"t{i}" for i in range(len(values))]
+        for line in bar_chart(labels, values, width=20).splitlines():
+            assert line.count("█") <= 20
+
+
+class TestGroupedBarChart:
+    def test_shared_scale_across_groups(self):
+        text = grouped_bar_chart(
+            {"A": {"t": 1.0}, "B": {"t": 4.0}}, width=8
+        )
+        lines = text.splitlines()
+        assert lines[0] == "A:"
+        assert lines[1].count("█") == 2  # 1.0 / 4.0 of width 8
+        assert lines[3].count("█") == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})
+        with pytest.raises(ValueError):
+            grouped_bar_chart({"A": {}})
+        with pytest.raises(ValueError):
+            grouped_bar_chart({"A": {"t": -1.0}})

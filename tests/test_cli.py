@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig6"])
+        assert args.experiment == "fig6"
+        assert args.scale == "small"
+
+    def test_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig6", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table5" in out
+
+    def test_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "libquantum" in out and "101.06" in out
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "fig1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory slowdown under FR-FCFS" in out
+        assert "libquantum" in out
+
+    def test_workload(self, capsys):
+        code = main(
+            [
+                "workload",
+                "mcf",
+                "hmmer",
+                "--policy",
+                "fr-fcfs",
+                "--policy",
+                "stfm",
+                "--budget",
+                "3000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FR-FCFS" in out and "STFM" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            main(["run", "fig99"])

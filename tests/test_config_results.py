@@ -1,0 +1,87 @@
+"""Tests for SystemConfig and the result records."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import ThreadResult, WorkloadResult, format_table
+
+
+class TestSystemConfig:
+    def test_channel_scaling_matches_table2(self):
+        """Table 2: 1, 1, 2, 4 channels for 2, 4, 8, 16 cores."""
+        assert SystemConfig(num_cores=2).channels == 1
+        assert SystemConfig(num_cores=4).channels == 1
+        assert SystemConfig(num_cores=8).channels == 2
+        assert SystemConfig(num_cores=16).channels == 4
+
+    def test_explicit_channels_override(self):
+        assert SystemConfig(num_cores=4, num_channels=2).channels == 2
+
+    def test_mapper_reflects_config(self):
+        config = SystemConfig(num_cores=8, num_banks=16, row_buffer_bytes=4096)
+        mapper = config.mapper()
+        assert mapper.num_channels == 2
+        assert mapper.num_banks == 16
+        assert mapper.lines_per_row == 512
+
+    def test_memory_key_ignores_core_count(self):
+        """Alone baselines are shared between same-memory configs."""
+        four = SystemConfig(num_cores=4)
+        also_four_channels = SystemConfig(num_cores=2, num_channels=1)
+        assert four.memory_key() == also_four_channels.memory_key()
+
+    def test_memory_key_distinguishes_banks(self):
+        assert (
+            SystemConfig(num_banks=8).memory_key()
+            != SystemConfig(num_banks=16).memory_key()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=0)
+
+
+def make_result() -> WorkloadResult:
+    threads = (
+        ThreadResult("a", ipc_alone=1.0, ipc_shared=0.5, mcpi_alone=1.0,
+                     mcpi_shared=2.0, slowdown=2.0),
+        ThreadResult("b", ipc_alone=2.0, ipc_shared=1.0, mcpi_alone=0.5,
+                     mcpi_shared=2.0, slowdown=4.0),
+    )
+    return WorkloadResult(policy="TEST", threads=threads)
+
+
+class TestWorkloadResult:
+    def test_unfairness(self):
+        assert make_result().unfairness == 2.0
+
+    def test_weighted_speedup(self):
+        assert make_result().weighted_speedup == pytest.approx(1.0)
+
+    def test_sum_of_ipcs(self):
+        assert make_result().sum_of_ipcs == pytest.approx(1.5)
+
+    def test_summary_row_keys(self):
+        row = make_result().summary_row()
+        assert set(row) == {
+            "policy",
+            "unfairness",
+            "weighted_speedup",
+            "hmean_speedup",
+            "sum_of_ipcs",
+        }
+
+    def test_relative_ipc(self):
+        assert make_result().threads[0].relative_ipc == 0.5
+
+
+class TestFormatTable:
+    def test_alignment_and_precision(self):
+        text = format_table(["name", "x"], [["a", 1.23456], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in text and "1.2345" not in text
+
+    def test_empty_rows(self):
+        text = format_table(["h1", "h2"], [])
+        assert "h1" in text

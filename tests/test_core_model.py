@@ -1,0 +1,189 @@
+"""Tests for the analytical out-of-order core model.
+
+The core is driven with a scripted ``submit`` function so its commit,
+stall-accounting, MLP and back-pressure behaviour can be checked without
+a memory controller.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller.request import MemoryRequest
+from repro.cpu.core import Core
+from repro.cpu.trace import Trace, TraceRecord
+from repro.dram.address import AddressMapper
+
+MAPPER = AddressMapper()
+
+
+class ScriptedMemory:
+    """A submit() stub with a fixed service latency."""
+
+    def __init__(self, latency: int = 100, accept: bool = True):
+        self.latency = latency
+        self.accept = accept
+        self.requests: list[MemoryRequest] = []
+
+    def __call__(self, thread_id, address, is_write, now):
+        if not self.accept:
+            return None
+        request = MemoryRequest(
+            thread_id, address, MAPPER.decode(address), is_write, now
+        )
+        request.completed_at = now + self.latency
+        self.requests.append(request)
+        return request
+
+
+def compute_only_trace(instructions: int) -> Trace:
+    # A trace with no memory operations is modeled as one giant compute
+    # block followed by a single read (traces always end records with a
+    # memory op); keep the read cheap.
+    return Trace([TraceRecord(instructions, False, 0x1000)], loop=False)
+
+
+class TestCommitBandwidth:
+    def test_three_wide_commit(self):
+        memory = ScriptedMemory(latency=0)
+        core = Core(0, compute_only_trace(299), memory, instruction_budget=300)
+        core.step(0, 100)  # 100 cycles x 3 wide = up to 300 instructions
+        # Window-refill boundaries cost a commit slot or two (a partial
+        # 3-wide group cannot span blocks), hence the small tolerance.
+        assert 296 <= core.committed_instructions <= 300
+
+    def test_budget_snapshot_taken_once(self):
+        memory = ScriptedMemory(latency=0)
+        core = Core(0, compute_only_trace(29), memory, instruction_budget=30)
+        core.step(0, 20)
+        snapshot = core.snapshot
+        assert snapshot is not None
+        core.step(10, 1000)
+        assert core.snapshot is snapshot  # not overwritten
+
+
+class TestStallAccounting:
+    def test_memory_stall_counted_while_head_blocked(self):
+        """Tshared counts cycles where the oldest instruction is an
+        incomplete L2 miss (Section 3.2.1)."""
+        memory = ScriptedMemory(latency=400)
+        trace = Trace([TraceRecord(0, False, 0x1000)], loop=False)
+        core = Core(0, trace, memory, instruction_budget=1)
+        core.step(0, 1000)
+        # The miss issues at fetch (cycle 0) and completes at 400; the
+        # core stalls from cycle 0 to 400.
+        assert core.memory_stall_cycles == pytest.approx(400, abs=2)
+
+    def test_compute_hides_no_latency_when_serial(self):
+        memory = ScriptedMemory(latency=300)
+        trace = Trace(
+            [TraceRecord(30, False, 0x1000), TraceRecord(30, False, 0x2000)],
+            loop=False,
+        )
+        core = Core(0, trace, memory, instruction_budget=62)
+        for quantum in range(0, 2000, 10):
+            core.step(quantum, 10)
+            if core.snapshot:
+                break
+        snapshot = core.snapshot
+        assert snapshot is not None
+        # Both misses issue at fetch before the compute commits, so most
+        # of the 300-cycle latency overlaps the first compute block but
+        # the commit of each load still waits.
+        assert snapshot.memory_stall_cycles > 0
+
+    def test_mcpi_metric(self):
+        memory = ScriptedMemory(latency=200)
+        trace = Trace([TraceRecord(0, False, 0x1000)], loop=False)
+        core = Core(0, trace, memory, instruction_budget=1)
+        core.step(0, 500)
+        assert core.snapshot is not None
+        assert core.snapshot.mcpi == pytest.approx(
+            core.snapshot.memory_stall_cycles / core.snapshot.instructions
+        )
+
+
+class TestMemoryLevelParallelism:
+    def _misses_outstanding_at_fetch(self, max_outstanding: int) -> int:
+        memory = ScriptedMemory(latency=10_000)  # effectively never completes
+        records = [TraceRecord(0, False, 0x1000 * (i + 1)) for i in range(32)]
+        core = Core(
+            0,
+            Trace(records, loop=False),
+            memory,
+            instruction_budget=32,
+            max_outstanding=max_outstanding,
+        )
+        core.step(0, 50)
+        return len(memory.requests)
+
+    def test_window_limits_outstanding_misses(self):
+        # 128-entry window, 1-instruction records: all 32 misses fit.
+        assert self._misses_outstanding_at_fetch(64) == 32
+
+    def test_mlp_cap_limits_outstanding_misses(self):
+        assert self._misses_outstanding_at_fetch(4) == 4
+        assert self._misses_outstanding_at_fetch(1) == 1
+
+    def test_dependent_load_waits_for_previous(self):
+        memory = ScriptedMemory(latency=100)
+        records = [
+            TraceRecord(0, False, 0x1000),
+            TraceRecord(0, False, 0x2000, dependent=True),
+        ]
+        core = Core(0, Trace(records, loop=False), memory, instruction_budget=2)
+        core.step(0, 50)
+        assert len(memory.requests) == 1  # the chase waits
+        core.step(50, 100)
+        assert len(memory.requests) == 2  # issued after the first returned
+
+
+class TestBackPressure:
+    def test_rejected_submit_retried(self):
+        memory = ScriptedMemory(latency=50)
+        memory.accept = False
+        trace = Trace([TraceRecord(0, False, 0x1000)], loop=False)
+        core = Core(0, trace, memory, instruction_budget=1)
+        core.step(0, 30)
+        assert not memory.requests
+        memory.accept = True
+        core.step(30, 200)
+        assert len(memory.requests) == 1
+        assert core.committed_instructions >= 1
+
+    def test_write_buffer_full_blocks_fetch(self):
+        memory = ScriptedMemory(latency=50)
+        memory.accept = False
+        trace = Trace(
+            [TraceRecord(0, True, 0x1000), TraceRecord(5, False, 0x2000)],
+            loop=False,
+        )
+        core = Core(0, trace, memory, instruction_budget=7)
+        core.step(0, 30)
+        assert core.committed_instructions == 0  # stuck behind the write
+        memory.accept = True
+        core.step(30, 300)
+        assert core.snapshot is not None
+
+
+class TestWrites:
+    def test_writes_commit_without_stalling(self):
+        memory = ScriptedMemory(latency=10_000)
+        records = [TraceRecord(3, True, 0x1000 * (i + 1)) for i in range(5)]
+        core = Core(0, Trace(records, loop=False), memory, instruction_budget=20)
+        core.step(0, 50)
+        assert core.snapshot is not None
+        assert core.memory_stall_cycles == 0
+        assert core.writes_issued == 5
+
+
+class TestTraceExhaustion:
+    def test_force_snapshot_on_short_trace(self):
+        memory = ScriptedMemory(latency=10)
+        trace = Trace([TraceRecord(5, False, 0x1000)], loop=False)
+        core = Core(0, trace, memory, instruction_budget=1_000_000)
+        for quantum in range(0, 500, 10):
+            core.step(quantum, 10)
+        assert core.finished
+        snapshot = core.force_snapshot(500)
+        assert snapshot.instructions >= 6

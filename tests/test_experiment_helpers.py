@@ -1,0 +1,70 @@
+"""Tests for the shared experiment shapes (case_study / policy_sweep)."""
+
+import pytest
+
+from repro.experiments.base import Scale
+from repro.experiments.common import case_study, make_runner, policy_sweep
+
+TINY = Scale(budget=2_000, samples=1)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return make_runner(2, TINY)
+
+
+class TestCaseStudy:
+    def test_rows_and_tables(self, runner):
+        rows, text = case_study(
+            runner, ["mcf", "GemsFDTD"], policies=["fr-fcfs", "stfm"]
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert {"policy", "unfairness", "weighted_speedup"} <= set(row)
+            assert "slowdown:mcf" in row
+        assert "workload: mcf+GemsFDTD" in text
+        assert "unfairness" in text
+
+    def test_chart_included(self, runner):
+        _, text = case_study(
+            runner, ["mcf", "GemsFDTD"], policies=["fr-fcfs"]
+        )
+        assert "memory slowdowns (paper-figure shape):" in text
+        assert "█" in text
+
+    def test_policy_kwargs_forwarded(self, runner):
+        rows, _ = case_study(
+            runner,
+            ["mcf", "GemsFDTD"],
+            policies=["stfm"],
+            policy_kwargs={"stfm": {"weights": [1.0, 4.0]}},
+        )
+        assert rows[0]["policy"] == "STFM"
+
+
+class TestPolicySweep:
+    def test_gmean_row_appended(self, runner):
+        workloads = [["mcf", "GemsFDTD"], ["libquantum", "omnetpp"]]
+        rows, text = policy_sweep(runner, workloads, policies=["fr-fcfs", "stfm"])
+        assert rows[-1]["workload"] == "GMEAN"
+        assert len(rows) == 3
+        assert "GMEAN-unfairness" in text
+
+    def test_unfairness_keys_per_policy(self, runner):
+        rows, _ = policy_sweep(
+            runner, [["mcf", "GemsFDTD"]], policies=["fr-fcfs", "stfm"]
+        )
+        assert "unfairness:fr-fcfs" in rows[0]
+        assert "unfairness:stfm" in rows[0]
+
+    def test_config_kwargs_reach_the_system(self):
+        banked = make_runner(2, TINY, num_banks=4)
+        assert banked.config.num_banks == 4
+        assert banked.config.mapper().num_banks == 4
+
+
+class TestMakeRunner:
+    def test_budget_and_seed_from_scale(self):
+        runner = make_runner(2, Scale(budget=1234, samples=1, seed=9))
+        assert runner.instruction_budget == 1234
+        assert runner.seed == 9

@@ -1,0 +1,73 @@
+"""Calibration of every Table 3/4 benchmark's generated trace.
+
+These tests are pure trace generation (no simulation), so covering all
+30 benchmarks stays cheap.  They pin the generator's contract: MPKI and
+row-run locality must track the paper-reported statistics for *every*
+benchmark, not just the case-study ones.
+"""
+
+import pytest
+
+from repro.dram.address import AddressMapper
+from repro.workloads.desktop import DESKTOP_BENCHMARKS
+from repro.workloads.spec2006 import SPEC2006
+from repro.workloads.synthetic import generate_trace
+
+MAPPER = AddressMapper()
+ALL_BENCHMARKS = list(SPEC2006.values()) + list(DESKTOP_BENCHMARKS.values())
+
+
+def _trace_for(spec, instructions=None):
+    if instructions is None:
+        # Enough instructions for ~400 reads, bounded for the lightest.
+        instructions = min(int(400_000 / max(spec.mpki, 0.2)), 3_000_000)
+    return generate_trace(spec, MAPPER, instructions, seed=11)
+
+
+@pytest.mark.parametrize("spec", ALL_BENCHMARKS, ids=lambda s: s.name)
+def test_mpki_matches_table(spec):
+    trace = _trace_for(spec)
+    read_mpki = 1000.0 * trace.read_count / trace.instructions_per_pass
+    assert read_mpki == pytest.approx(spec.mpki, rel=0.3)
+
+
+@pytest.mark.parametrize("spec", ALL_BENCHMARKS, ids=lambda s: s.name)
+def test_row_run_locality_matches_table(spec):
+    trace = _trace_for(spec)
+    reads = [r for r in trace if not r.is_write]
+    same_row = 0
+    previous = None
+    for record in reads:
+        decoded = MAPPER.decode(record.address)
+        key = (decoded.channel, decoded.bank, decoded.row)
+        if previous is not None and key == previous:
+            same_row += 1
+        previous = key
+    rate = same_row / max(1, len(reads) - 1)
+    assert rate == pytest.approx(spec.rb_hit_rate, abs=0.1)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [s for s in ALL_BENCHMARKS if s.bank_focus],
+    ids=lambda s: s.name,
+)
+def test_bank_focus_respected(spec):
+    trace = _trace_for(spec)
+    counts: dict[int, int] = {}
+    for record in trace:
+        if record.is_write:
+            continue
+        bank = MAPPER.decode(record.address).bank
+        counts[bank] = counts.get(bank, 0) + 1
+    top = sum(sorted(counts.values(), reverse=True)[: spec.bank_focus])
+    assert top / sum(counts.values()) >= spec.bank_focus_weight - 0.2
+
+
+@pytest.mark.parametrize("spec", ALL_BENCHMARKS, ids=lambda s: s.name)
+def test_trace_structurally_valid(spec):
+    trace = _trace_for(spec, instructions=20_000)
+    assert trace.memory_operations >= 4
+    for record in trace:
+        assert record.compute >= 0
+        assert record.address >= 0

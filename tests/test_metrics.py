@@ -1,0 +1,113 @@
+"""Tests for fairness and throughput metrics (Section 6.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    geometric_mean,
+    hmean_speedup,
+    memory_slowdown,
+    sum_of_ipcs,
+    unfairness_index,
+    weighted_speedup,
+)
+from repro.metrics.stats import mean
+
+
+class TestMemorySlowdown:
+    def test_ratio(self):
+        assert memory_slowdown(2.0, 1.0) == 2.0
+
+    def test_zero_alone_clamped(self):
+        assert memory_slowdown(1.0, 0.0) > 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            memory_slowdown(-1.0, 1.0)
+
+
+class TestUnfairness:
+    def test_perfectly_fair_is_one(self):
+        assert unfairness_index([2.0, 2.0, 2.0]) == 1.0
+
+    def test_max_over_min(self):
+        assert unfairness_index([1.0, 4.0, 2.0]) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            unfairness_index([])
+        with pytest.raises(ValueError):
+            unfairness_index([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1))
+    def test_always_at_least_one(self, slowdowns):
+        assert unfairness_index(slowdowns) >= 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_scale_invariant(self, slowdowns, factor):
+        scaled = [s * factor for s in slowdowns]
+        assert unfairness_index(scaled) == pytest.approx(
+            unfairness_index(slowdowns)
+        )
+
+
+class TestThroughputMetrics:
+    def test_weighted_speedup(self):
+        # Two threads at half their alone speed: WS = 1.0.
+        assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == 1.0
+
+    def test_weighted_speedup_max_is_thread_count(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == 2.0
+
+    def test_hmean_speedup(self):
+        assert hmean_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+        # One starving thread dominates the harmonic mean.
+        balanced = hmean_speedup([0.5, 1.0], [1.0, 2.0])
+        skewed = hmean_speedup([0.1, 1.8], [1.0, 2.0])
+        assert balanced > skewed
+
+    def test_sum_of_ipcs(self):
+        assert sum_of_ipcs([1.5, 0.5]) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+        with pytest.raises(ValueError):
+            hmean_speedup([], [])
+        with pytest.raises(ValueError):
+            sum_of_ipcs([])
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=3.0), min_size=1, max_size=16)
+    )
+    def test_hmean_bounded_by_min_and_max_relative_ipc(self, relative):
+        alone = [1.0] * len(relative)
+        value = hmean_speedup(relative, alone)
+        assert min(relative) - 1e-9 <= value <= max(relative) + 1e-9
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1))
+    def test_gmean_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9

@@ -1,0 +1,45 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.controller.request import MemoryRequest
+from repro.cpu.mshr import MshrFile
+from repro.dram.address import AddressMapper
+
+
+def make_request(row: int = 0) -> MemoryRequest:
+    mapper = AddressMapper()
+    address = mapper.compose(0, 0, row, 0)
+    return MemoryRequest(0, address, mapper.decode(address), False, 0)
+
+
+class TestMshrFile:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+    def test_allocate_until_full(self):
+        mshrs = MshrFile(2)
+        assert mshrs.try_allocate(make_request(1), 0)
+        assert mshrs.try_allocate(make_request(2), 0)
+        assert not mshrs.try_allocate(make_request(3), 0)
+        assert len(mshrs) == 2
+
+    def test_release_on_completion(self):
+        mshrs = MshrFile(1)
+        request = make_request(1)
+        assert mshrs.try_allocate(request, 0)
+        assert not mshrs.try_allocate(make_request(2), 50)
+        request.completed_at = 100
+        assert not mshrs.try_allocate(make_request(2), 99)
+        assert mshrs.try_allocate(make_request(2), 100)
+
+    def test_out_of_order_completion_reclaimed_when_full(self):
+        mshrs = MshrFile(2)
+        first = make_request(1)
+        second = make_request(2)
+        mshrs.try_allocate(first, 0)
+        mshrs.try_allocate(second, 0)
+        second.completed_at = 50  # completes before the head
+        assert mshrs.try_allocate(make_request(3), 60)  # full sweep frees it
+        assert len(mshrs) == 2

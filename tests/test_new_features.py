@@ -1,0 +1,159 @@
+"""Tests for refresh, closed-page policy, estimator basis and result IO."""
+
+import pytest
+
+from repro.core.estimator import InterferenceEstimator
+from repro.core.stfm import StfmPolicy
+from repro.experiments.base import ExperimentResult
+from repro.experiments.io import load_results, result_to_dict, save_results
+from repro.sim.config import SystemConfig
+from tests.conftest import ControllerHarness
+
+
+class TestRefresh:
+    def test_refresh_issued_periodically(self):
+        harness = ControllerHarness(refresh_enabled=True)
+        ticks_per_refi = harness.timing.refi // harness.timing.dram_cycle
+        harness.tick(3 * ticks_per_refi + 2)
+        assert harness.controller.refreshes_issued in (2, 3)
+
+    def test_refresh_closes_rows(self):
+        harness = ControllerHarness(refresh_enabled=True)
+        harness.submit(0, bank=0, row=1)
+        harness.run_until_done()
+        assert harness.controller.channels[0].banks[0].open_row == 1
+        harness.tick(harness.timing.refi // harness.timing.dram_cycle + 1)
+        assert harness.controller.channels[0].banks[0].open_row is None
+
+    def test_requests_complete_across_refresh(self):
+        harness = ControllerHarness(refresh_enabled=True)
+        ticks_per_refi = harness.timing.refi // harness.timing.dram_cycle
+        harness.tick(ticks_per_refi - 1)  # land just before the refresh
+        harness.submit(0, bank=0, row=1)
+        done = harness.run_until_done()
+        assert done[0].completed_at is not None
+
+    def test_disabled_by_default(self):
+        harness = ControllerHarness()
+        harness.tick(harness.timing.refi // harness.timing.dram_cycle + 5)
+        assert harness.controller.refreshes_issued == 0
+
+
+class TestClosedPagePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControllerHarness(page_policy="half-open")
+        with pytest.raises(ValueError):
+            SystemConfig(page_policy="half-open")
+
+    def test_row_closed_after_last_column(self):
+        harness = ControllerHarness(page_policy="closed")
+        harness.submit(0, bank=0, row=1)
+        harness.run_until_done()
+        assert harness.controller.channels[0].banks[0].open_row is None
+
+    def test_row_kept_open_for_pending_same_row(self):
+        harness = ControllerHarness(page_policy="closed")
+        first = harness.submit(0, bank=0, row=1, column=0)
+        second = harness.submit(0, bank=0, row=1, column=1)
+        harness.run_until_done()
+        # The second request was serviced as a row hit (the row stayed
+        # open between them), and the bank precharged after it.
+        assert second.service_outcome().name == "ROW_HIT"
+        assert harness.controller.channels[0].banks[0].open_row is None
+
+    def test_open_page_is_default_and_keeps_rows(self):
+        harness = ControllerHarness()
+        harness.submit(0, bank=0, row=1)
+        harness.run_until_done()
+        assert harness.controller.channels[0].banks[0].open_row == 1
+
+
+class TestEstimatorBasis:
+    def test_basis_validation(self):
+        policy = StfmPolicy(2)
+        harness = ControllerHarness(policy=policy)
+        with pytest.raises(ValueError):
+            InterferenceEstimator(
+                policy.registers, harness.controller, basis="psychic"
+            )
+
+    def test_registry_forwards_basis(self):
+        from repro.schedulers.registry import make_policy
+
+        policy = make_policy("stfm", num_threads=2, interference_basis="ready")
+        assert policy.interference_basis == "ready"
+
+    def test_ready_basis_accrues_less_interference(self):
+        """The literal reading misses interference-induced unreadiness,
+        so it never accrues more than the waiting basis."""
+        totals = {}
+        for basis in ("waiting", "ready"):
+            policy = StfmPolicy(2, interference_basis=basis)
+            harness = ControllerHarness(policy=policy, num_threads=2)
+            for column in range(8):
+                harness.submit(0, bank=0, row=1, column=column)
+            harness.submit(1, bank=0, row=2)
+            harness.run_until_done()
+            totals[basis] = policy.registers.threads[1].t_interference
+        assert totals["ready"] <= totals["waiting"]
+        assert totals["waiting"] > 0
+
+
+class TestResultsIo:
+    def make_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="fig6",
+            title="t",
+            rows=[{"policy": "STFM", "unfairness": 1.2, "weights": (1, 2)}],
+            text="table",
+            paper_reference="ref",
+            extras={"seed": 0},
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([self.make_result()], path)
+        loaded = load_results(path)
+        assert len(loaded) == 1
+        assert loaded[0]["experiment_id"] == "fig6"
+        assert loaded[0]["rows"][0]["unfairness"] == 1.2
+        # Tuples were coerced to lists for JSON.
+        assert loaded[0]["rows"][0]["weights"] == [1, 2]
+
+    def test_result_to_dict_no_text(self):
+        payload = result_to_dict(self.make_result())
+        assert "text" not in payload  # tables are for the console
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "out.json"
+        assert main(["run", "fig1", "--scale", "tiny", "--json", str(out)]) == 0
+        assert load_results(out)[0]["experiment_id"] == "fig1"
+
+
+class TestAblationExperiments:
+    @pytest.mark.parametrize(
+        "experiment_id",
+        [
+            "ablate-gamma",
+            "ablate-estimator",
+            "ablate-cap",
+            "ablate-page-policy",
+            "ablate-refresh",
+        ],
+    )
+    def test_runs_at_tiny_scale(self, experiment_id):
+        from repro.experiments import run_experiment
+        from repro.experiments.base import Scale
+
+        result = run_experiment(experiment_id, scale=Scale(budget=2_000))
+        assert result.rows
+        assert result.text.strip()

@@ -1,0 +1,107 @@
+"""Tests for the NFQ (fair queueing) scheduler."""
+
+import pytest
+
+from repro.schedulers.nfq import NfqPolicy
+from tests.conftest import ControllerHarness
+
+
+class TestConstruction:
+    def test_equal_shares_by_default(self):
+        policy = NfqPolicy(4)
+        assert policy._stretch == [4.0] * 4
+
+    def test_weighted_shares(self):
+        policy = NfqPolicy(2, shares=[3.0, 1.0])
+        # Total share 4: the heavy thread is stretched 4/3, the light 4.
+        assert policy._stretch == pytest.approx([4 / 3, 4.0])
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            NfqPolicy(2, shares=[1.0])
+        with pytest.raises(ValueError):
+            NfqPolicy(2, shares=[1.0, 0.0])
+
+
+class TestVirtualFinishTimes:
+    def test_vft_advances_on_service(self):
+        harness = ControllerHarness(policy=NfqPolicy(2))
+        policy = harness.controller.policy
+        harness.submit(0, bank=0, row=1)
+        harness.run_until_done()
+        assert policy.vft(0, 0, 0) > 0
+        assert policy.vft(1, 0, 0) == 0
+
+    def test_vft_scales_with_num_threads(self):
+        results = []
+        for threads in (2, 4):
+            harness = ControllerHarness(
+                policy=NfqPolicy(threads), num_threads=threads
+            )
+            harness.submit(0, bank=0, row=1)
+            harness.run_until_done()
+            results.append(harness.controller.policy.vft(0, 0, 0))
+        assert results[1] > results[0]
+
+    def test_vft_is_per_bank(self):
+        harness = ControllerHarness(policy=NfqPolicy(2))
+        harness.submit(0, bank=0, row=1)
+        harness.submit(0, bank=1, row=1)
+        harness.run_until_done()
+        policy = harness.controller.policy
+        assert policy.vft(0, 0, 0) > 0
+        assert policy.vft(0, 0, 1) > 0
+
+    def test_earliest_deadline_first(self):
+        """A thread with accumulated VFT loses to a fresh thread."""
+        harness = ControllerHarness(policy=NfqPolicy(2))
+        # Thread 0 builds up VFT in bank 0.
+        for column in range(4):
+            harness.submit(0, bank=0, row=1, column=column)
+        harness.run_until_done()
+        harness.pending.clear()
+        # Now both threads contend with row misses; thread 1's VFT is 0.
+        hog = harness.submit(0, bank=0, row=2)
+        fresh = harness.submit(1, bank=0, row=3)
+        harness.run_until_done()
+        assert fresh.completed_at < hog.completed_at
+
+
+class TestIdlenessProblem:
+    def test_returning_thread_captures_the_bank(self):
+        """The defining NFQ pathology (paper Figure 3): a thread that was
+        idle returns with a lagging virtual deadline and is prioritized
+        over the continuously-running thread."""
+        harness = ControllerHarness(policy=NfqPolicy(2))
+        # Thread 0 runs "continuously" for a while, accruing VFT.
+        for column in range(8):
+            harness.submit(0, bank=0, row=1, column=column)
+        harness.run_until_done()
+        harness.pending.clear()
+        # Thread 1 wakes up; both submit interleaved batches.  The
+        # continuous thread's requests are row hits (FR-FCFS would finish
+        # them all first); NFQ lets them bypass only within the
+        # priority-inversion window (tRAS), then switches to the
+        # returning thread's earlier virtual deadlines.
+        continuous = [
+            harness.submit(0, bank=0, row=1, column=8 + c) for c in range(10)
+        ]
+        bursty = [harness.submit(1, bank=0, row=50 + c) for c in range(4)]
+        harness.run_until_done()
+        assert min(b.completed_at for b in bursty) < max(
+            c.completed_at for c in continuous
+        )
+
+
+class TestPriorityInversionPrevention:
+    def test_row_hits_bypass_within_window(self):
+        harness = ControllerHarness(policy=NfqPolicy(2))
+        harness.submit(0, bank=0, row=1, column=0)
+        harness.run_until_done()
+        harness.pending.clear()
+        # Thread 0's hit vs thread 1's earlier-deadline miss: within the
+        # tRAS window the hit goes first (FQ-VFTF's first-ready rule).
+        miss = harness.submit(1, bank=0, row=2)
+        hit = harness.submit(0, bank=0, row=1, column=1)
+        harness.run_until_done()
+        assert hit.completed_at < miss.completed_at

@@ -1,0 +1,152 @@
+"""Property-based tests of system-level invariants.
+
+Random request streams are pushed through the controller under every
+scheduling policy; the invariants checked are the ones any correct
+memory controller must uphold:
+
+* every admitted request eventually completes (no starvation deadlock);
+* the data bus never carries two bursts at once;
+* bank timing is respected (commands never issue to a busy bank);
+* a request's completion time is at least the uncontended minimum.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stfm import StfmPolicy
+from repro.dram.commands import CommandKind
+from repro.schedulers.fcfs import FcfsPolicy
+from repro.schedulers.frfcfs import FrFcfsPolicy
+from repro.schedulers.frfcfs_cap import FrFcfsCapPolicy
+from repro.schedulers.nfq import NfqPolicy
+from repro.schedulers.parbs import ParBsPolicy
+from tests.conftest import ControllerHarness
+
+
+def make_policy_instance(name: str, num_threads: int):
+    return {
+        "fr-fcfs": lambda: FrFcfsPolicy(),
+        "fcfs": lambda: FcfsPolicy(),
+        "fr-fcfs+cap": lambda: FrFcfsCapPolicy(),
+        "nfq": lambda: NfqPolicy(num_threads),
+        "stfm": lambda: StfmPolicy(num_threads),
+        "par-bs": lambda: ParBsPolicy(num_threads),
+    }[name]()
+
+
+request_stream = st.lists(
+    st.tuples(
+        st.integers(0, 3),     # thread
+        st.integers(0, 7),     # bank
+        st.integers(0, 15),    # row
+        st.integers(0, 31),    # column
+        st.booleans(),         # is_write
+        st.integers(0, 3),     # submit gap in DRAM cycles
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+policy_names = st.sampled_from(
+    ["fr-fcfs", "fcfs", "fr-fcfs+cap", "nfq", "stfm", "par-bs"]
+)
+
+
+class InstrumentedHarness(ControllerHarness):
+    """Harness that additionally checks per-issue invariants via a
+    wrapped policy hook."""
+
+    def __init__(self, policy):
+        super().__init__(policy=policy, num_threads=4)
+        self.violations: list[str] = []
+        controller = self.controller
+        original_issue = controller._issue
+
+        def checked_issue(channel, candidate, scan, now):
+            bank = channel.banks[candidate.bank_index]
+            if now < bank.busy_until:
+                self.violations.append(
+                    f"command to busy bank at {now} < {bank.busy_until}"
+                )
+            if candidate.kind.is_column and now + self.timing.cl < (
+                channel.data_bus_busy_until
+            ):
+                self.violations.append(f"data bus overlap at {now}")
+            if candidate.kind is CommandKind.PRECHARGE and bank.open_row is not None:
+                if now < bank.activated_at + self.timing.ras:
+                    self.violations.append(f"tRAS violation at {now}")
+            original_issue(channel, candidate, scan, now)
+
+        controller._issue = checked_issue
+
+
+@given(stream=request_stream, policy_name=policy_names)
+@settings(max_examples=60, deadline=None)
+def test_all_requests_complete_and_timing_is_legal(stream, policy_name):
+    harness = InstrumentedHarness(make_policy_instance(policy_name, 4))
+    writes = []
+    for thread, bank, row, column, is_write, gap in stream:
+        harness.tick(gap)
+        request = harness.submit(
+            thread, bank=bank, row=row, column=column, is_write=is_write
+        )
+        if is_write:
+            writes.append(request)
+    reads = list(harness.pending)
+    harness.run_until_done()
+    # Reads all complete...
+    assert all(r.completed_at is not None for r in reads)
+    # ...writes eventually drain too (no reads pending -> drain mode).
+    for _ in range(5_000):
+        if all(w.completed_at is not None for w in writes):
+            break
+        harness.tick()
+    assert all(w.completed_at is not None for w in writes)
+    assert harness.violations == []
+
+
+@given(stream=request_stream, policy_name=policy_names)
+@settings(max_examples=30, deadline=None)
+def test_completion_time_at_least_uncontended_minimum(stream, policy_name):
+    harness = InstrumentedHarness(make_policy_instance(policy_name, 4))
+    for thread, bank, row, column, is_write, gap in stream:
+        harness.tick(gap)
+        harness.submit(thread, bank=bank, row=row, column=column)
+    done = harness.run_until_done()
+    minimum = harness.timing.row_hit_latency()
+    for request in done:
+        assert request.completed_at - request.arrival >= minimum
+
+
+@given(stream=request_stream)
+@settings(max_examples=30, deadline=None)
+def test_request_conservation(stream):
+    """Enqueued reads == completed reads; queues end empty."""
+    harness = InstrumentedHarness(FrFcfsPolicy())
+    for thread, bank, row, column, _, gap in stream:
+        harness.tick(gap)
+        harness.submit(thread, bank=bank, row=row, column=column)
+    harness.run_until_done()
+    completed = sum(
+        stats.reads_completed for stats in harness.controller.thread_stats
+    )
+    assert completed == len(harness.pending)
+    assert harness.controller.queues.total_reads() == 0
+
+
+@given(stream=request_stream)
+@settings(max_examples=20, deadline=None)
+def test_stfm_interference_never_exceeds_total_wait(stream):
+    """A thread's estimated interference should stay within the same
+    order of magnitude as real time (sanity bound: never more than the
+    whole simulated duration times the bank-parallelism amplification)."""
+    policy = StfmPolicy(4)
+    harness = InstrumentedHarness(policy)
+    for thread, bank, row, column, _, gap in stream:
+        harness.tick(gap)
+        harness.submit(thread, bank=bank, row=row, column=column)
+    harness.run_until_done()
+    duration = max(harness.now, 1)
+    for registers in policy.registers.threads:
+        assert registers.t_interference <= duration / policy.gamma

@@ -1,0 +1,97 @@
+"""Cross-policy scheduler invariants with hypothesis.
+
+Beyond the timing-legality properties of ``test_properties.py``, these
+check *policy-level* invariants: the two-level selection contract, cap
+monotonicity, PAR-BS batch lifecycle, and STFM's mode hysteresis.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stfm import StfmPolicy
+from repro.schedulers.frfcfs import FrFcfsPolicy
+from repro.schedulers.frfcfs_cap import FrFcfsCapPolicy
+from repro.schedulers.parbs import ParBsPolicy
+from tests.conftest import ControllerHarness
+
+small_streams = st.lists(
+    st.tuples(
+        st.integers(0, 2),    # thread
+        st.integers(0, 3),    # bank
+        st.integers(0, 7),    # row
+        st.integers(0, 2),    # gap in DRAM cycles
+    ),
+    min_size=2,
+    max_size=24,
+)
+
+
+@given(stream=small_streams)
+@settings(max_examples=30, deadline=None)
+def test_parbs_batches_always_drain(stream):
+    """Every formed batch is eventually fully serviced (the marked set
+    returns to empty), so batching can never wedge the controller."""
+    policy = ParBsPolicy(3)
+    harness = ControllerHarness(policy=policy, num_threads=3)
+    for thread, bank, row, gap in stream:
+        harness.tick(gap)
+        harness.submit(thread, bank=bank, row=row)
+    harness.run_until_done()
+    harness.tick(5)
+    assert policy.marked_remaining == 0
+    assert policy.batches_formed >= 1
+
+
+@given(stream=small_streams, cap=st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_capped_policy_never_slower_for_oldest_row_access(stream, cap):
+    """FR-FCFS+Cap can only help (or match) the oldest row-access
+    request relative to plain FR-FCFS on the same arrival sequence."""
+
+    def run(policy):
+        harness = ControllerHarness(policy=policy, num_threads=3)
+        requests = []
+        for thread, bank, row, gap in stream:
+            harness.tick(gap)
+            requests.append(harness.submit(thread, bank=bank, row=row))
+        harness.run_until_done()
+        # Completion of the conflict-prone request that arrived first.
+        return min(r.completed_at for r in requests)
+
+    first_frfcfs = run(FrFcfsPolicy())
+    first_capped = run(FrFcfsCapPolicy(cap=cap))
+    assert first_capped <= first_frfcfs + 1_000  # never pathologically worse
+
+
+@given(stream=small_streams)
+@settings(max_examples=20, deadline=None)
+def test_stfm_mode_flag_consistent_with_reported_unfairness(stream):
+    policy = StfmPolicy(3, alpha=1.10)
+    harness = ControllerHarness(policy=policy, num_threads=3)
+    for thread, bank, row, gap in stream:
+        harness.tick(gap)
+        harness.submit(thread, bank=bank, row=row)
+        # After every begin_cycle the flag must match the comparison.
+        assert policy.fairness_mode == (policy.last_unfairness > policy.alpha)
+    harness.run_until_done()
+
+
+@given(stream=small_streams)
+@settings(max_examples=20, deadline=None)
+def test_two_level_selection_never_picks_bus_blocked_command(stream):
+    """The channel winner must always be channel-ready even when bank
+    winners are bus-blocked."""
+    policy = FrFcfsPolicy()
+    harness = ControllerHarness(policy=policy, num_threads=3)
+    original_select = policy.select
+
+    def checked_select(channel_index, per_bank, now):
+        winner = original_select(channel_index, per_bank, now)
+        if winner is not None:
+            assert winner.channel_ready
+        return winner
+
+    policy.select = checked_select
+    for thread, bank, row, gap in stream:
+        harness.tick(gap)
+        harness.submit(thread, bank=bank, row=row)
+    harness.run_until_done()

@@ -1,0 +1,163 @@
+"""Tests for the synthetic trace generator, including statistical
+calibration against the benchmark specs (the core of substitution 1 in
+DESIGN.md)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.address import AddressMapper
+from repro.workloads.spec2006 import SPEC2006, BenchmarkSpec
+from repro.workloads.synthetic import SyntheticTraceGenerator, generate_trace
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    return AddressMapper()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, mapper):
+        spec = SPEC2006["mcf"]
+        a = generate_trace(spec, mapper, 10_000, seed=1)
+        b = generate_trace(spec, mapper, 10_000, seed=1)
+        assert a.records == b.records
+
+    def test_different_seed_different_trace(self, mapper):
+        spec = SPEC2006["mcf"]
+        a = generate_trace(spec, mapper, 10_000, seed=1)
+        b = generate_trace(spec, mapper, 10_000, seed=2)
+        assert a.records != b.records
+
+    def test_different_partitions_differ(self, mapper):
+        spec = SPEC2006["mcf"]
+        a = generate_trace(spec, mapper, 10_000, partition=0, num_partitions=4)
+        b = generate_trace(spec, mapper, 10_000, partition=1, num_partitions=4)
+        assert a.records != b.records
+
+
+class TestPartitionIsolation:
+    @pytest.mark.parametrize("name", ["mcf", "libquantum", "dealII"])
+    def test_partitions_use_disjoint_rows(self, mapper, name):
+        spec = SPEC2006[name]
+        rows_seen = []
+        for partition in range(2):
+            trace = generate_trace(
+                spec, mapper, 50_000, partition=partition, num_partitions=2
+            )
+            rows_seen.append(
+                {mapper.decode(r.address).row for r in trace}
+            )
+        assert not rows_seen[0] & rows_seen[1]
+
+    def test_partition_validation(self, mapper):
+        with pytest.raises(ValueError):
+            generate_trace(SPEC2006["mcf"], mapper, 1000, partition=2,
+                           num_partitions=2)
+        with pytest.raises(ValueError):
+            generate_trace(SPEC2006["mcf"], mapper, 0)
+
+
+class TestStatisticalCalibration:
+    @pytest.mark.parametrize(
+        "name", ["mcf", "libquantum", "GemsFDTD", "omnetpp", "h264ref"]
+    )
+    def test_mpki_matches_spec(self, mapper, name):
+        spec = SPEC2006[name]
+        instructions = 200_000
+        trace = generate_trace(spec, mapper, instructions, seed=5)
+        read_mpki = 1000.0 * trace.read_count / trace.instructions_per_pass
+        assert read_mpki == pytest.approx(spec.mpki, rel=0.25)
+
+    @pytest.mark.parametrize("name", ["libquantum", "mcf", "GemsFDTD", "dealII"])
+    def test_row_locality_matches_spec(self, mapper, name):
+        """Consecutive same-row accesses should appear at ~rb_hit_rate."""
+        spec = SPEC2006[name]
+        trace = generate_trace(spec, mapper, 500_000, seed=5)
+        reads = [r for r in trace if not r.is_write]
+        same_row = 0
+        previous = None
+        for record in reads:
+            decoded = mapper.decode(record.address)
+            key = (decoded.channel, decoded.bank, decoded.row)
+            if previous is not None and key == previous:
+                same_row += 1
+            previous = key
+        rate = same_row / max(1, len(reads) - 1)
+        assert rate == pytest.approx(spec.rb_hit_rate, abs=0.08)
+
+    def test_bank_focus_skews_accesses(self, mapper):
+        spec = SPEC2006["dealII"]  # bank_focus = 2
+        trace = generate_trace(spec, mapper, 2_000_000, seed=5)
+        counts = {}
+        for record in trace:
+            if record.is_write:
+                continue
+            bank = mapper.decode(record.address).bank
+            counts[bank] = counts.get(bank, 0) + 1
+        top_two = sum(sorted(counts.values(), reverse=True)[:2])
+        assert top_two / sum(counts.values()) > 0.7
+
+    def test_uniform_benchmark_spreads_banks(self, mapper):
+        spec = SPEC2006["GemsFDTD"]  # no bank focus
+        trace = generate_trace(spec, mapper, 100_000, seed=5)
+        banks = {mapper.decode(r.address).bank for r in trace if not r.is_write}
+        assert len(banks) == mapper.num_banks
+
+    def test_write_fraction(self, mapper):
+        spec = SPEC2006["mcf"]
+        trace = generate_trace(spec, mapper, 100_000, seed=5)
+        writes = trace.memory_operations - trace.read_count
+        assert writes / trace.read_count == pytest.approx(
+            spec.write_fraction, abs=0.05
+        )
+
+    def test_dependence_fraction(self, mapper):
+        spec = SPEC2006["omnetpp"]
+        trace = generate_trace(spec, mapper, 100_000, seed=5)
+        reads = [r for r in trace if not r.is_write]
+        dependent = sum(1 for r in reads if r.dependent)
+        assert dependent / len(reads) == pytest.approx(spec.dependence, abs=0.05)
+
+    def test_burstiness_concentrates_gaps(self, mapper):
+        even = BenchmarkSpec("even", "SYN", 1, 20.0, 0.5, 3, burstiness=0.0)
+        bursty = BenchmarkSpec("bursty", "SYN", 1, 20.0, 0.5, 3, burstiness=0.9)
+        generator = SyntheticTraceGenerator(mapper, seed=5)
+
+        def gap_variance(trace):
+            gaps = [r.compute for r in trace if not r.is_write]
+            mean = sum(gaps) / len(gaps)
+            return sum((g - mean) ** 2 for g in gaps) / len(gaps)
+
+        even_trace = generator.trace_for(even, 100_000)
+        bursty_trace = generator.trace_for(bursty, 100_000)
+        assert gap_variance(bursty_trace) > 2 * gap_variance(even_trace)
+
+
+class TestGeneratorProperties:
+    @given(
+        mpki=st.floats(min_value=0.5, max_value=100.0),
+        rb=st.floats(min_value=0.0, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_spec_generates_valid_traces(self, mpki, rb, seed):
+        spec = BenchmarkSpec("prop", "SYN", 1.0, mpki, rb, 0)
+        mapper = AddressMapper()
+        trace = generate_trace(spec, mapper, 20_000, seed=seed)
+        assert trace.memory_operations >= 4
+        for record in trace:
+            assert record.compute >= 0
+            decoded = mapper.decode(record.address)
+            assert 0 <= decoded.bank < mapper.num_banks
+
+    @given(num_partitions=st.sampled_from([1, 2, 4, 8, 16]))
+    @settings(max_examples=10, deadline=None)
+    def test_every_partition_valid(self, num_partitions):
+        spec = SPEC2006["lbm"]
+        mapper = AddressMapper()
+        for partition in range(num_partitions):
+            trace = generate_trace(
+                spec, mapper, 5_000, partition=partition,
+                num_partitions=num_partitions,
+            )
+            assert trace.memory_operations > 0

@@ -1,0 +1,86 @@
+"""Tests for the system-software interface (paper Section 3.3)."""
+
+import pytest
+
+from repro.core.stfm import StfmPolicy
+from tests.conftest import ControllerHarness
+
+
+class TestAlphaControl:
+    def test_set_alpha(self):
+        policy = StfmPolicy(2)
+        policy.set_alpha(2.0)
+        assert policy.alpha == 2.0
+
+    def test_set_alpha_validation(self):
+        policy = StfmPolicy(2)
+        with pytest.raises(ValueError):
+            policy.set_alpha(0.9)
+
+    def test_raising_alpha_mid_run_relaxes_fairness(self):
+        policy = StfmPolicy(2, alpha=1.05)
+        harness = ControllerHarness(policy=policy, num_threads=2)
+        stalls = {0: 1000, 1: 1000}
+        policy.set_tshared_source(lambda t: stalls[t])
+        policy.registers.add_interference(1, 500.0)
+        harness.submit(0, bank=0, row=1)
+        harness.submit(1, bank=1, row=1)
+        harness.tick()
+        assert policy.fairness_mode
+        policy.set_alpha(50.0)  # "disable hardware fairness"
+        harness.tick()
+        assert not policy.fairness_mode
+
+
+class TestWeightControl:
+    def test_set_thread_weight(self):
+        policy = StfmPolicy(2)
+        policy.set_thread_weight(1, 8.0)
+        assert policy.registers.threads[1].weight == 8.0
+
+    def test_weight_validation(self):
+        policy = StfmPolicy(2)
+        with pytest.raises(ValueError):
+            policy.set_thread_weight(0, -1.0)
+
+    def test_weight_change_affects_prioritization(self):
+        policy = StfmPolicy(2)
+        harness = ControllerHarness(policy=policy, num_threads=2)
+        stalls = {0: 1000, 1: 1000}
+        policy.set_tshared_source(lambda t: stalls[t])
+        # Same raw slowdown; weight breaks the tie.
+        policy.registers.add_interference(0, 200.0)
+        policy.registers.add_interference(1, 200.0)
+        policy.set_thread_weight(1, 10.0)
+        harness.submit(0, bank=0, row=1)
+        harness.submit(1, bank=1, row=1)
+        harness.tick()
+        assert policy.fairness_mode
+        assert policy.max_slowdown_thread == 1
+
+
+class TestContextSwitch:
+    def test_context_switch_resets_one_thread(self):
+        policy = StfmPolicy(2)
+        harness = ControllerHarness(policy=policy, num_threads=2)
+        stalls = {0: 5000, 1: 5000}
+        policy.set_tshared_source(lambda t: stalls[t])
+        policy.registers.add_interference(0, 2000.0)
+        policy.registers.add_interference(1, 2000.0)
+        policy.registers.record_row(0, 3, 42)
+        policy.notify_context_switch(0)
+        # Thread 0's history is gone...
+        assert policy.registers.threads[0].t_interference == 0.0
+        assert policy.registers.last_row(0, 3) is None
+        assert policy.slowdown_of(0) == 1.0
+        # ...thread 1's is intact.
+        assert policy.registers.threads[1].t_interference == 2000.0
+        assert policy.slowdown_of(1) > 1.5
+
+    def test_tshared_rebased_at_switch(self):
+        policy = StfmPolicy(1)
+        stalls = {0: 5000}
+        policy.set_tshared_source(lambda t: stalls[t])
+        policy.notify_context_switch(0)
+        stalls[0] = 7000
+        assert policy.registers.tshared(0, 7000) == 2000

@@ -1,0 +1,73 @@
+"""Tests for DRAM timing parameters and cycle conversion."""
+
+import pytest
+
+from repro.dram.timing import DDR2_800, DramTiming
+
+
+class TestCycleConversion:
+    def test_baseline_cas_latency_is_60_cpu_cycles(self):
+        assert DDR2_800.cl == 60  # 15 ns at 4 GHz
+
+    def test_baseline_rcd_and_rp(self):
+        assert DDR2_800.rcd == 60
+        assert DDR2_800.rp == 60
+
+    def test_baseline_tras(self):
+        assert DDR2_800.ras == 180  # 45 ns
+
+    def test_burst_occupancy(self):
+        assert DDR2_800.burst == 40  # BL/2 = 10 ns
+
+    def test_dram_cycle_is_ten_cpu_cycles(self):
+        assert DDR2_800.dram_cycle == 10
+
+    def test_t_bus_equals_burst(self):
+        assert DDR2_800.t_bus == DDR2_800.burst
+
+    def test_slower_cpu_scales_cycles_down(self):
+        timing = DramTiming(cpu_freq_ghz=2.0)
+        assert timing.cl == 30
+        assert timing.dram_cycle == 5
+
+    def test_rounding_to_nearest_cycle(self):
+        timing = DramTiming(t_cl_ns=15.1)
+        assert timing.cl == 60  # 60.4 rounds down
+
+    def test_zero_dram_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            DramTiming(dram_clock_ns=0.0)
+
+
+class TestUncontendedLatencies:
+    """Table 2: uncontended row-hit/closed/conflict are 35/50/70 ns."""
+
+    def test_row_hit_latency(self):
+        # tCL + burst + overhead = 15 + 10 + 10 = 35 ns = 140 cycles
+        assert DDR2_800.row_hit_latency() == 140
+
+    def test_row_closed_latency(self):
+        # + tRCD = 50 ns = 200 cycles
+        assert DDR2_800.row_closed_latency() == 200
+
+    def test_row_conflict_latency(self):
+        # + tRP; the paper rounds to 70 ns, our composition gives 65 ns
+        assert DDR2_800.row_conflict_latency() == 260
+
+    def test_latency_ordering(self):
+        assert (
+            DDR2_800.row_hit_latency()
+            < DDR2_800.row_closed_latency()
+            < DDR2_800.row_conflict_latency()
+        )
+
+
+class TestImmutability:
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DDR2_800.cl = 1  # type: ignore[misc]
+
+    def test_hashable_for_config_keys(self):
+        assert hash(DramTiming()) == hash(DramTiming())
+        assert DramTiming() == DramTiming()
+        assert DramTiming(t_cl_ns=20.0) != DramTiming()

@@ -1,0 +1,83 @@
+"""Tests for traces and the streaming trace cursor."""
+
+import pytest
+
+from repro.cpu.trace import Trace, TraceCursor, TraceRecord
+
+
+def simple_trace(loop=True) -> Trace:
+    return Trace(
+        [
+            TraceRecord(compute=10, is_write=False, address=0x1000),
+            TraceRecord(compute=0, is_write=True, address=0x2000),
+            TraceRecord(compute=5, is_write=False, address=0x3000, dependent=True),
+        ],
+        loop=loop,
+    )
+
+
+class TestTrace:
+    def test_lengths(self):
+        trace = simple_trace()
+        assert len(trace) == 3
+        assert trace.memory_operations == 3
+        assert trace.read_count == 2
+        assert trace.instructions_per_pass == 10 + 1 + 0 + 1 + 5 + 1
+
+    def test_mpki(self):
+        trace = simple_trace()
+        assert trace.mpki() == pytest.approx(3000 / 18)
+
+    def test_tuple_records_coerced(self):
+        trace = Trace([(3, False, 0x40, False)])
+        assert isinstance(trace.records[0], TraceRecord)
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([TraceRecord(-1, False, 0)])
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert trace.instructions_per_pass == 0
+        assert trace.mpki() == 0.0
+
+
+class TestTraceCursor:
+    def test_compute_then_memory(self):
+        cursor = TraceCursor(simple_trace())
+        assert cursor.peek_compute() == 10
+        assert cursor.peek_memory() is None  # compute not yet drained
+        assert cursor.take_compute(4) == 4
+        assert cursor.take_compute(100) == 6
+        record = cursor.peek_memory()
+        assert record is not None and record.address == 0x1000
+        cursor.take_memory()
+        assert cursor.peek_compute() == 0  # next record has 0 compute
+        assert cursor.peek_memory().is_write
+
+    def test_looping(self):
+        cursor = TraceCursor(simple_trace(loop=True))
+        for _ in range(2):  # two full passes
+            for _ in range(3):
+                cursor.take_compute(cursor.peek_compute())
+                cursor.take_memory()
+        assert cursor.passes == 2
+        assert not cursor.exhausted
+
+    def test_non_looping_exhausts(self):
+        cursor = TraceCursor(simple_trace(loop=False))
+        for _ in range(3):
+            cursor.take_compute(cursor.peek_compute())
+            cursor.take_memory()
+        assert cursor.exhausted
+        assert cursor.peek_compute() == 0
+        assert cursor.peek_memory() is None
+
+    def test_take_memory_requires_drained_compute(self):
+        cursor = TraceCursor(simple_trace())
+        with pytest.raises(RuntimeError):
+            cursor.take_memory()
+
+    def test_empty_trace_exhausted_immediately(self):
+        cursor = TraceCursor(Trace([]))
+        assert cursor.exhausted

@@ -1,0 +1,82 @@
+"""Tests for trace (de)serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.trace import Trace, TraceRecord
+from repro.cpu.tracefile import load_trace, save_trace
+
+
+def sample_trace(loop=True) -> Trace:
+    return Trace(
+        [
+            TraceRecord(12, False, 0x12340, False),
+            TraceRecord(0, True, 0x56780, False),
+            TraceRecord(3, False, 0x12380, True),
+        ],
+        loop=loop,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.records == original.records
+        assert loaded.loop == original.loop
+
+    def test_loop_flag_preserved(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(sample_trace(loop=False), path)
+        assert load_trace(path).loop is False
+
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.integers(0, 10_000),
+                st.booleans(),
+                st.integers(0, 2**40),
+                st.booleans(),
+            ),
+            max_size=50,
+        ),
+        loop=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, tmp_path_factory, records, loop):
+        path = tmp_path_factory.mktemp("traces") / "t.txt"
+        original = Trace([TraceRecord(*r) for r in records], loop=loop)
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.records == original.records
+        assert loaded.loop == original.loop
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 R 0x0 0\n")
+        with pytest.raises(ValueError, match="repro-trace"):
+            load_trace(path)
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# repro-trace v1 loop=1\n1 R 0x0\n")
+        with pytest.raises(ValueError, match="4 fields"):
+            load_trace(path)
+
+    def test_bad_kind(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# repro-trace v1 loop=1\n1 X 0x0 0\n")
+        with pytest.raises(ValueError, match="kind"):
+            load_trace(path)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text(
+            "# repro-trace v1 loop=0\n\n# a comment\n5 R 0x40 0\n"
+        )
+        trace = load_trace(path)
+        assert len(trace) == 1

@@ -1,0 +1,119 @@
+"""Tests for the benchmark registry and workload mixes."""
+
+import pytest
+
+from repro.workloads import (
+    DESKTOP_BENCHMARKS,
+    SPEC2006,
+    benchmark,
+    benchmarks_by_category,
+    category_pattern_workloads,
+    intensive_order,
+    sixteen_core_workloads,
+    workload_name,
+)
+from repro.workloads.mixes import sample_workloads_4core, sample_workloads_8core
+
+
+class TestSpec2006Registry:
+    def test_twenty_six_benchmarks(self):
+        """Table 3 lists 26 benchmarks (3 of the 29 SPEC2006 programs
+        were excluded by the authors)."""
+        assert len(SPEC2006) == 26
+
+    def test_table3_headline_values(self):
+        mcf = SPEC2006["mcf"]
+        assert (mcf.mcpi, mcf.mpki, mcf.rb_hit_rate, mcf.category) == (
+            10.02,
+            101.06,
+            0.419,
+            2,
+        )
+        libq = SPEC2006["libquantum"]
+        assert libq.rb_hit_rate == 0.984 and libq.streaming
+
+    def test_categories_cover_all_four(self):
+        for category in range(4):
+            assert benchmarks_by_category(category)
+
+    def test_category_consistency(self):
+        """Categories encode (intensive, high-RB) per the paper."""
+        for spec in SPEC2006.values():
+            assert spec.intensive == (spec.category >= 2)
+            assert spec.high_locality == (spec.category in (1, 3))
+
+    def test_case_study_annotations(self):
+        assert SPEC2006["dealII"].bank_focus == 2
+        assert SPEC2006["astar"].bank_focus == 2
+        assert SPEC2006["omnetpp"].dependence > SPEC2006["libquantum"].dependence
+
+    def test_lookup_and_unknown(self):
+        assert benchmark("mcf") is SPEC2006["mcf"]
+        assert benchmark("matlab") is DESKTOP_BENCHMARKS["matlab"]
+        with pytest.raises(KeyError):
+            benchmark("doom3")
+
+    def test_with_overrides(self):
+        tweaked = SPEC2006["mcf"].with_overrides(mpki=50.0)
+        assert tweaked.mpki == 50.0
+        assert SPEC2006["mcf"].mpki == 101.06  # original untouched
+
+    def test_intensive_order_sorted_by_mcpi(self):
+        ordered = intensive_order()
+        assert ordered[0].name == "mcf"
+        assert ordered[-1].name == "povray"
+        mcpis = [s.mcpi for s in ordered]
+        assert mcpis == sorted(mcpis, reverse=True)
+
+    def test_invalid_category(self):
+        with pytest.raises(ValueError):
+            benchmarks_by_category(4)
+
+
+class TestDesktop:
+    def test_table4_values(self):
+        assert DESKTOP_BENCHMARKS["matlab"].mpki == 60.26
+        assert DESKTOP_BENCHMARKS["xml-parser"].rb_hit_rate == 0.958
+        assert DESKTOP_BENCHMARKS["iexplorer"].bank_focus == 2
+        assert DESKTOP_BENCHMARKS["instant-messenger"].bank_focus == 3
+
+
+class TestMixes:
+    def test_full_4core_enumeration_is_256(self):
+        workloads = category_pattern_workloads(4)
+        assert len(workloads) == 256
+
+    def test_sampled_workloads_deterministic(self):
+        a = category_pattern_workloads(8, count=5, seed=3)
+        b = category_pattern_workloads(8, count=5, seed=3)
+        assert a == b
+        c = category_pattern_workloads(8, count=5, seed=4)
+        assert a != c
+
+    def test_sampled_workloads_have_right_size(self):
+        for workload in category_pattern_workloads(8, count=4):
+            assert len(workload) == 8
+            for name in workload:
+                assert name in SPEC2006
+
+    def test_sixteen_core_workloads(self):
+        named = sixteen_core_workloads()
+        assert set(named) == {"high16", "high8+low8", "low16"}
+        ordered = [s.name for s in intensive_order()]
+        assert named["high16"] == ordered[:16]
+        assert named["low16"] == ordered[-16:]
+        assert len(named["high8+low8"]) == 16
+
+    def test_sample_workloads(self):
+        assert len(sample_workloads_4core(count=10)) == 10
+        assert len(sample_workloads_8core(count=10)) == 10
+        assert len(sample_workloads_4core(count=14)) == 14
+        for workload in sample_workloads_8core(count=10):
+            assert len(workload) == 8
+
+    def test_workload_name(self):
+        assert workload_name(["a", "b"]) == "a+b"
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            category_pattern_workloads(0)
