@@ -16,8 +16,17 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 
+from repro.engine import (
+    EngineOptions,
+    JobFailedError,
+    default_cache_dir,
+    engine_options,
+    session_report,
+)
 from repro.experiments import EXPERIMENTS, SCALES, run_experiment
+from repro.experiments.base import resolve_scale
 from repro.schedulers.registry import available_policies
 from repro.sim.config import SystemConfig
 from repro.sim.results import format_table
@@ -40,22 +49,45 @@ def _cmd_run(args) -> int:
         ids = [i for i in EXPERIMENTS if not i.startswith("ablate")]
     else:
         ids = [args.experiment]
+    scale = resolve_scale(args.scale)
+    if args.seed is not None:
+        scale = replace(scale, seed=args.seed)
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    options = EngineOptions(jobs=args.jobs, cache_dir=cache_dir)
     results = []
-    for experiment_id in ids:
-        started = time.time()
-        result = run_experiment(experiment_id, scale=args.scale)
-        elapsed = time.time() - started
-        results.append(result)
-        print(f"== {result.experiment_id}: {result.title} ==")
-        print(result.text)
-        if result.paper_reference:
-            print(f"\n[{result.paper_reference}]")
-        print(f"({elapsed:.1f}s at scale {args.scale!r})\n")
+    failures = []
+    with engine_options(options):
+        for experiment_id in ids:
+            started = time.time()
+            engine_before = session_report().snapshot()
+            try:
+                result = run_experiment(experiment_id, scale=scale)
+            except JobFailedError as exc:
+                failures.append(experiment_id)
+                print(
+                    f"== {experiment_id}: FAILED ==\n{exc}\n", file=sys.stderr
+                )
+                continue
+            elapsed = time.time() - started
+            results.append(result)
+            print(f"== {result.experiment_id}: {result.title} ==")
+            print(result.text)
+            if result.paper_reference:
+                print(f"\n[{result.paper_reference}]")
+            engine_delta = session_report().since(engine_before)
+            print(f"(engine: {engine_delta.summary()})")
+            print(f"({elapsed:.1f}s at scale {args.scale!r})\n")
     if args.json:
         from repro.experiments.io import save_results
 
         save_results(results, args.json)
         print(f"wrote {len(results)} result(s) to {args.json}")
+    if failures:
+        print(
+            f"{len(failures)} experiment(s) failed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -127,6 +159,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--json", metavar="PATH", help="also write structured results as JSON"
+    )
+    run_parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="simulation worker processes (default: 1 = serial)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scale's workload-generation seed",
+    )
+    run_parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persistent result store (default: "
+        "$STFM_SIM_CACHE_DIR or ~/.cache/stfm-sim)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result store for this run",
     )
     run_parser.set_defaults(func=_cmd_run)
 

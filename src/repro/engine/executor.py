@@ -1,0 +1,361 @@
+"""Job execution: cache resolution, worker pool, timeout, retry, report.
+
+The executor resolves every requested job against its two cache layers
+(per-executor memory, then the on-disk :class:`ResultStore`) and runs
+the misses — in-process when ``jobs == 1`` (the serial degenerate case,
+bit-identical to the pre-engine code path and friendly to debuggers),
+or on a pool of worker processes otherwise.
+
+Parallel execution is process-per-job with bounded concurrency rather
+than ``multiprocessing.Pool``: a dedicated process per job is what makes
+a *per-job timeout* (terminate the process) and *crash detection* (exit
+without a result on the pipe) robust — a crashed pool worker cannot hang
+the queue, it just costs one bounded retry.  Worker *exceptions* are
+deterministic simulation bugs and fail fast instead of retrying.
+
+Results travel back over a pipe as JSON-serializable payloads, so the
+parallel path returns exactly what the serial path computes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable
+
+from repro.engine.jobs import execute_job
+from repro.engine.store import ResultStore
+
+
+class JobFailedError(RuntimeError):
+    """A job failed permanently (exception, or crash/timeout past retry)."""
+
+    def __init__(self, job: Any, reason: str) -> None:
+        super().__init__(f"job '{job.describe()}' failed: {reason}")
+        self.job = job
+        self.reason = reason
+
+
+@dataclass
+class EngineReport:
+    """Counters of one executor's (or the whole session's) activity."""
+
+    jobs_total: int = 0
+    jobs_run: int = 0
+    hits_memory: int = 0
+    hits_disk: int = 0
+    jobs_failed: int = 0
+    retries: int = 0
+    wall_time: float = 0.0
+    sim_time: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return self.hits_memory + self.hits_disk
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate simulation time over wall time — parallelism plus
+        caching folded into one 'vs cold serial' factor."""
+        return self.sim_time / self.wall_time if self.wall_time > 0 else 0.0
+
+    def add(self, other: "EngineReport") -> None:
+        self.jobs_total += other.jobs_total
+        self.jobs_run += other.jobs_run
+        self.hits_memory += other.hits_memory
+        self.hits_disk += other.hits_disk
+        self.jobs_failed += other.jobs_failed
+        self.retries += other.retries
+        self.wall_time += other.wall_time
+        self.sim_time += other.sim_time
+
+    def snapshot(self) -> "EngineReport":
+        return replace(self)
+
+    def since(self, earlier: "EngineReport") -> "EngineReport":
+        return EngineReport(
+            jobs_total=self.jobs_total - earlier.jobs_total,
+            jobs_run=self.jobs_run - earlier.jobs_run,
+            hits_memory=self.hits_memory - earlier.hits_memory,
+            hits_disk=self.hits_disk - earlier.hits_disk,
+            jobs_failed=self.jobs_failed - earlier.jobs_failed,
+            retries=self.retries - earlier.retries,
+            wall_time=self.wall_time - earlier.wall_time,
+            sim_time=self.sim_time - earlier.sim_time,
+        )
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.jobs_total} job(s): {self.jobs_run} simulated, "
+            f"{self.hits} cached ({self.hits_disk} disk, "
+            f"{self.hits_memory} memory)"
+        ]
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        if self.jobs_failed:
+            parts.append(f"{self.jobs_failed} FAILED")
+        parts.append(
+            f"sim {self.sim_time:.1f}s in {self.wall_time:.1f}s wall"
+            + (f" ({self.speedup:.1f}x)" if self.speedup else "")
+        )
+        return "; ".join(parts)
+
+
+#: Process-wide aggregate across every executor — lets the CLI report
+#: engine activity without threading runner objects through the
+#: experiment registry.
+_SESSION = EngineReport()
+
+
+def session_report() -> EngineReport:
+    return _SESSION
+
+
+def reset_session_report() -> None:
+    global _SESSION
+    _SESSION = EngineReport()
+
+
+def _worker_main(job, conn) -> None:
+    try:
+        started = time.perf_counter()
+        payload = execute_job(job)
+        conn.send(("ok", payload, time.perf_counter() - started))
+    except BaseException as exc:  # report, never propagate out of a worker
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}", 0.0))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    proc: Any
+    conn: Any
+    job: Any
+    started: float
+
+
+class JobExecutor:
+    """Runs batches of jobs through the cache layers and a worker pool.
+
+    Args:
+        jobs: Worker processes; 1 = serial in-process execution.
+        store: Optional on-disk :class:`ResultStore` (or a directory).
+        timeout: Per-job wall-clock limit in seconds (parallel mode
+            only — the serial path cannot interrupt a job).
+        retries: Extra attempts after a worker crash or timeout.
+        progress: Optional callable receiving one line per finished job.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: "ResultStore | str | None" = None,
+        timeout: "float | None" = None,
+        retries: int = 1,
+        progress: "Callable[[str], None] | None" = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("need at least one worker")
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
+        self.jobs = jobs
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        self.memory: dict[str, dict] = {}
+        self.report = EngineReport()
+
+    # -- public API ---------------------------------------------------------
+    def run(self, job_list: Iterable[Any]) -> dict[str, dict]:
+        """Execute jobs (deduplicated by cache key) → {cache_key: payload}.
+
+        Raises :class:`JobFailedError` as soon as any job fails
+        permanently; outstanding workers are terminated.
+        """
+        started = time.perf_counter()
+        unique: dict[str, Any] = {}
+        for job in job_list:
+            unique.setdefault(job.cache_key(), job)
+
+        payloads: dict[str, dict] = {}
+        to_run: list[tuple[str, Any]] = []
+        batch = EngineReport(jobs_total=len(unique))
+        for key, job in unique.items():
+            if key in self.memory:
+                payloads[key] = self.memory[key]
+                batch.hits_memory += 1
+                continue
+            stored = self.store.get(key) if self.store is not None else None
+            if stored is not None:
+                payloads[key] = self.memory[key] = stored
+                batch.hits_disk += 1
+            else:
+                to_run.append((key, job))
+
+        try:
+            if to_run:
+                if self.jobs == 1:
+                    fresh = self._run_serial(to_run, batch)
+                else:
+                    fresh = self._run_parallel(to_run, batch)
+                for key, payload in fresh.items():
+                    payloads[key] = self.memory[key] = payload
+                    if self.store is not None:
+                        job = unique[key]
+                        self.store.put(
+                            key, payload,
+                            describe=job.describe(), kind=job.kind,
+                        )
+        finally:
+            batch.wall_time = time.perf_counter() - started
+            self.report.add(batch)
+            _SESSION.add(batch)
+        return payloads
+
+    # -- serial path --------------------------------------------------------
+    def _run_serial(
+        self, to_run: list[tuple[str, Any]], batch: EngineReport
+    ) -> dict[str, dict]:
+        results: dict[str, dict] = {}
+        for key, job in to_run:
+            started = time.perf_counter()
+            try:
+                payload = execute_job(job)
+            except Exception as exc:
+                batch.jobs_failed += 1
+                raise JobFailedError(
+                    job, f"{type(exc).__name__}: {exc}"
+                ) from exc
+            batch.sim_time += time.perf_counter() - started
+            batch.jobs_run += 1
+            results[key] = payload
+            self._note(job, "done", batch)
+        return results
+
+    # -- parallel path ------------------------------------------------------
+    def _run_parallel(
+        self, to_run: list[tuple[str, Any]], batch: EngineReport
+    ) -> dict[str, dict]:
+        ctx = self._context()
+        pending = deque(to_run)
+        attempts: dict[str, int] = {}
+        running: dict[str, _Running] = {}
+        results: dict[str, dict] = {}
+        failure: JobFailedError | None = None
+
+        try:
+            while (pending or running) and failure is None:
+                while pending and len(running) < self.jobs:
+                    key, job = pending.popleft()
+                    attempts[key] = attempts.get(key, 0) + 1
+                    running[key] = self._spawn(ctx, job)
+                progressed = False
+                for key in list(running):
+                    state = running[key]
+                    outcome = self._poll(state)
+                    if outcome is None:
+                        continue
+                    progressed = True
+                    del running[key]
+                    self._reap(state)
+                    status, value, duration = outcome
+                    if status == "ok":
+                        results[key] = value
+                        batch.jobs_run += 1
+                        batch.sim_time += duration
+                        self._note(state.job, "done", batch)
+                    elif status == "error":
+                        # Deterministic simulation exception: retrying
+                        # would fail identically — fail fast.
+                        batch.jobs_failed += 1
+                        failure = JobFailedError(state.job, value)
+                        break
+                    elif attempts[key] <= self.retries:
+                        batch.retries += 1
+                        self._note(state.job, f"retrying ({value})", batch)
+                        pending.append((key, state.job))
+                    else:
+                        batch.jobs_failed += 1
+                        failure = JobFailedError(state.job, value)
+                        break
+                if not progressed:
+                    time.sleep(0.005)
+        finally:
+            for state in running.values():
+                state.proc.terminate()
+                self._reap(state)
+        if failure is not None:
+            raise failure
+        return results
+
+    @staticmethod
+    def _context():
+        # fork is both the cheapest start method and the one that lets
+        # worker processes inherit registered custom job kinds.
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _spawn(self, ctx, job) -> _Running:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main, args=(job, child_conn), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return _Running(proc, parent_conn, job, time.perf_counter())
+
+    def _poll(self, state: _Running):
+        """One look at a worker: result tuple, crash/timeout tuple, or
+        None while it is still running."""
+        if state.conn.poll(0):
+            return self._recv(state)
+        if not state.proc.is_alive():
+            # The worker may have exited right after flushing its result;
+            # give the pipe one short grace poll before declaring a crash.
+            if state.conn.poll(0.2):
+                return self._recv(state)
+            return (
+                "crash",
+                f"worker crashed (exit code {state.proc.exitcode})",
+                0.0,
+            )
+        if (
+            self.timeout is not None
+            and time.perf_counter() - state.started > self.timeout
+        ):
+            state.proc.terminate()
+            return ("timeout", f"timed out after {self.timeout:g}s", 0.0)
+        return None
+
+    def _recv(self, state: _Running):
+        try:
+            return state.conn.recv()
+        except (EOFError, OSError):
+            return (
+                "crash",
+                f"worker crashed (pipe closed, exit code {state.proc.exitcode})",
+                0.0,
+            )
+
+    @staticmethod
+    def _reap(state: _Running) -> None:
+        state.conn.close()
+        state.proc.join()
+
+    def _note(self, job, status: str, batch: EngineReport) -> None:
+        if self.progress is not None:
+            done = batch.jobs_run + batch.hits
+            self.progress(
+                f"[{done}/{batch.jobs_total}] {job.describe()}: {status}"
+            )

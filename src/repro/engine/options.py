@@ -1,0 +1,62 @@
+"""Engine options and their context plumbing.
+
+The experiment registry's entry points (``run(scale)``) construct their
+own runners, so the CLI cannot hand each of them an engine directly.
+Instead it installs :class:`EngineOptions` for the duration of the run
+via :func:`engine_options`, and :func:`repro.experiments.common.make_runner`
+picks up :func:`current_options` when building runners.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """How runners should execute and cache their simulation jobs.
+
+    Attributes:
+        jobs: Worker processes (1 = serial in-process execution).
+        cache_dir: Result-store directory; None disables persistence.
+        timeout: Per-job wall-clock limit in seconds (parallel only).
+        retries: Extra attempts after a worker crash or timeout.
+    """
+
+    jobs: int = 1
+    cache_dir: "str | None" = None
+    timeout: "float | None" = None
+    retries: int = 1
+
+
+_STACK: list[EngineOptions] = [EngineOptions()]
+
+
+def current_options() -> EngineOptions:
+    """The options installed by the innermost :func:`engine_options`."""
+    return _STACK[-1]
+
+
+@contextmanager
+def engine_options(options: "EngineOptions | None" = None, **overrides):
+    """Install engine options for the dynamic extent of a with-block."""
+    base = options if options is not None else current_options()
+    if overrides:
+        base = replace(base, **overrides)
+    _STACK.append(base)
+    try:
+        yield base
+    finally:
+        _STACK.pop()
+
+
+def default_cache_dir() -> str:
+    """Where ``stfm-sim run`` persists results unless told otherwise."""
+    override = os.environ.get("STFM_SIM_CACHE_DIR")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "stfm-sim")

@@ -1,0 +1,70 @@
+"""Content-addressed on-disk result store.
+
+Payloads are filed under the SHA-256 of the job's canonical key (see
+``jobs.cache_key``): the filename *is* the identity, so two runners — in
+different processes, or days apart — that build the same job read and
+write the same entry, and any change to an input (seed, budget, policy
+kwargs, memory timing ...) lands on a different file instead of
+poisoning an old one.
+
+Entries are small JSON files sharded by hash prefix, written atomically
+(tmp + rename) so concurrent engine processes sharing one cache
+directory never observe a torn entry.  Corrupt or unreadable entries are
+treated as misses and re-simulated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+class ResultStore:
+    """A directory of ``<sha256>.json`` job payloads."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, cache_key: str) -> Path:
+        return self.root / cache_key[:2] / f"{cache_key}.json"
+
+    def get(self, cache_key: str) -> dict | None:
+        """Payload for a key, or None on miss (or corrupt entry)."""
+        path = self._path(cache_key)
+        try:
+            with path.open() as handle:
+                entry = json.load(handle)
+            return entry["payload"]
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, cache_key: str, payload: dict, describe: str = "",
+            kind: str = "") -> None:
+        """Atomically persist a payload under its key."""
+        path = self._path(cache_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"kind": kind, "describe": describe, "payload": payload}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, cache_key: str) -> bool:
+        return self._path(cache_key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.engine.options import EngineOptions, current_options
 from repro.experiments.base import Scale
 from repro.experiments.charts import grouped_bar_chart
 from repro.metrics.stats import geometric_mean
@@ -14,10 +15,25 @@ from repro.workloads.mixes import workload_name
 ALL_POLICIES = list(PAPER_ORDER)
 
 
-def make_runner(num_cores: int, scale: Scale, **config_kwargs) -> ExperimentRunner:
+def make_runner(
+    num_cores: int,
+    scale: Scale,
+    engine: "EngineOptions | None" = None,
+    **config_kwargs,
+) -> ExperimentRunner:
+    """Build a runner; engine options come from the argument or the
+    ambient :func:`repro.engine.options.engine_options` context (which
+    the CLI installs from its ``--jobs`` / ``--cache-dir`` flags)."""
+    options = engine if engine is not None else current_options()
     config = SystemConfig(num_cores=num_cores, **config_kwargs)
     return ExperimentRunner(
-        config, instruction_budget=scale.budget, seed=scale.seed
+        config,
+        instruction_budget=scale.budget,
+        seed=scale.seed,
+        jobs=options.jobs,
+        cache_dir=options.cache_dir,
+        timeout=options.timeout,
+        retries=options.retries,
     )
 
 
@@ -78,13 +94,17 @@ def policy_sweep(
     workloads: list[Workload],
     policies: list[str] | None = None,
 ) -> tuple[list[dict], str]:
-    """Many workloads x policies with GMEAN aggregation (Figures 9/11/12)."""
+    """Many workloads x policies with GMEAN aggregation (Figures 9/11/12).
+
+    The whole cross product runs as one engine batch
+    (:meth:`ExperimentRunner.run_sweep`): alone baselines shared between
+    workloads are simulated once and shared runs parallelize across the
+    runner's worker pool.
+    """
     policies = policies or ALL_POLICIES
-    per_workload: dict[str, dict[str, WorkloadResult]] = {}
-    for workload in workloads:
-        results = runner.run_policies(workload, policies)
-        label = workload_name([t.name for t in next(iter(results.values())).threads])
-        per_workload[label] = results
+    per_workload: dict[str, dict[str, WorkloadResult]] = runner.run_sweep(
+        workloads, policies
+    )
 
     rows = []
     unfairness_rows = []

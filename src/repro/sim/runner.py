@@ -2,31 +2,36 @@
 
 A thread's memory slowdown compares its shared-run MCPI against the MCPI
 it achieves *running alone in the same memory system under FR-FCFS*.
-The runner generates one trace per (benchmark, core slot), reuses it for
-both the alone baseline and the shared run, and caches alone baselines
-across workloads — the baseline depends only on the memory system, not
-on the co-runners.
+The runner decomposes workloads into simulation jobs and routes them
+through the :mod:`repro.engine` subsystem: alone baselines are
+deduplicated across workloads and policies (the baseline depends only on
+the memory system, not on the co-runners), jobs run on a worker pool
+when ``jobs > 1``, and payloads are memoized in memory and — when a
+``cache_dir`` is given — in a content-addressed on-disk store shared
+across processes and invocations.  ``jobs=1`` (the default) is the
+serial in-process degenerate case, bit-identical to parallel execution.
 """
 
 from __future__ import annotations
 
 from repro.cpu.core import CoreSnapshot
+from repro.engine.api import ExperimentEngine
+from repro.engine.graph import ExperimentPlan
+from repro.engine.jobs import (
+    AloneJob,
+    budget_for,
+    build_trace,
+    resolve_spec,
+    snapshot_from_payload,
+)
+from repro.engine.store import ResultStore
 from repro.schedulers.base import SchedulingPolicy
-from repro.schedulers.registry import make_policy
 from repro.sim.config import SystemConfig
 from repro.sim.results import ThreadResult, WorkloadResult
 from repro.sim.system import CmpSystem
-from repro.workloads.spec2006 import BenchmarkSpec, benchmark
-from repro.workloads.synthetic import SyntheticTraceGenerator
+from repro.workloads.spec2006 import BenchmarkSpec
 
 Workload = list["str | BenchmarkSpec"]
-
-
-def resolve_spec(item: "str | BenchmarkSpec") -> BenchmarkSpec:
-    """Accept either a registry name or an explicit spec."""
-    if isinstance(item, BenchmarkSpec):
-        return item
-    return benchmark(item)
 
 
 class ExperimentRunner:
@@ -39,6 +44,11 @@ class ExperimentRunner:
         seed: int = 0,
         min_reads: int = 100,
         max_budget_factor: int = 50,
+        jobs: int = 1,
+        cache_dir: "str | None" = None,
+        store: "ResultStore | None" = None,
+        timeout: "float | None" = None,
+        retries: int = 1,
     ) -> None:
         """Create a runner.
 
@@ -52,6 +62,13 @@ class ExperimentRunner:
                 statistical noise.  The paper's uniform 100M-instruction
                 budgets provide this implicitly.
             max_budget_factor: Cap on the budget extension.
+            jobs: Simulation worker processes (1 = serial, in-process).
+            cache_dir: Persist job results in this directory (see
+                :class:`repro.engine.ResultStore`); None keeps results
+                in memory only.
+            store: An existing result store (overrides ``cache_dir``).
+            timeout: Per-job wall-clock limit in seconds (parallel only).
+            retries: Extra attempts after a worker crash or timeout.
         """
         if instruction_budget < 1:
             raise ValueError("instruction budget must be positive")
@@ -60,32 +77,61 @@ class ExperimentRunner:
         self.seed = seed
         self.min_reads = min_reads
         self.max_budget_factor = max_budget_factor
-        self._alone_cache: dict[tuple, CoreSnapshot] = {}
+        self.engine = ExperimentEngine(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            store=store,
+            timeout=timeout,
+            retries=retries,
+        )
+        # Identity caches on top of the engine's payload caches: repeat
+        # calls return the *same* trace / snapshot objects.
+        self._alone_cache: dict[str, CoreSnapshot] = {}
         self._trace_cache: dict[tuple, object] = {}
+
+    @property
+    def report(self):
+        """Cumulative engine activity (jobs run / cached / failed ...)."""
+        return self.engine.report
 
     def budget_for(self, name: "str | BenchmarkSpec") -> int:
         """Per-benchmark instruction budget (see ``min_reads``)."""
-        spec = resolve_spec(name)
-        base = self.instruction_budget
-        if spec.mpki <= 0:
-            return base
-        needed = int(self.min_reads * 1000.0 / spec.mpki)
-        return min(max(base, needed), base * self.max_budget_factor)
+        return budget_for(
+            resolve_spec(name),
+            self.instruction_budget,
+            self.min_reads,
+            self.max_budget_factor,
+        )
+
+    def _plan(self) -> ExperimentPlan:
+        return ExperimentPlan(
+            self.config,
+            instruction_budget=self.instruction_budget,
+            seed=self.seed,
+            min_reads=self.min_reads,
+            max_budget_factor=self.max_budget_factor,
+        )
 
     # -- trace management ---------------------------------------------------
     def trace_for(
         self, name: "str | BenchmarkSpec", partition: int, num_partitions: int
     ):
         spec = resolve_spec(name)
-        key = (spec, partition, num_partitions)
+        budget = self.budget_for(spec)
+        # The key carries everything the trace depends on — budget, seed
+        # and memory system included — so entries stay valid if shared.
+        key = (
+            spec,
+            partition,
+            num_partitions,
+            budget,
+            self.seed,
+            self.config.memory_key(),
+        )
         trace = self._trace_cache.get(key)
         if trace is None:
-            generator = SyntheticTraceGenerator(self.config.mapper(), self.seed)
-            trace = generator.trace_for(
-                spec,
-                self.budget_for(name),
-                partition=partition,
-                num_partitions=num_partitions,
+            trace = build_trace(
+                self.config, self.seed, spec, budget, partition, num_partitions
             )
             self._trace_cache[key] = trace
         return trace
@@ -96,27 +142,19 @@ class ExperimentRunner:
     ) -> CoreSnapshot:
         """Run (or recall) the benchmark alone under FR-FCFS."""
         spec = resolve_spec(name)
-        budget = self.budget_for(spec)
-        key = (
-            spec,
-            partition,
-            num_partitions,
-            budget,
-            self.seed,
-            self.config.memory_key(),
+        job = AloneJob(
+            spec=spec,
+            partition=partition,
+            num_partitions=num_partitions,
+            budget=self.budget_for(spec),
+            seed=self.seed,
+            config=self.config,
         )
+        key = job.cache_key()
         snapshot = self._alone_cache.get(key)
         if snapshot is None:
-            trace = self.trace_for(spec, partition, num_partitions)
-            policy = make_policy("fr-fcfs", num_threads=1)
-            system = CmpSystem(
-                self.config,
-                [trace],
-                policy,
-                budget,
-                mlp_limits=[spec.mlp],
-            )
-            snapshot = system.run()[0]
+            payloads = self.engine.run_jobs([job])
+            snapshot = snapshot_from_payload(payloads[key])
             self._alone_cache[key] = snapshot
         return snapshot
 
@@ -137,6 +175,76 @@ class ExperimentRunner:
                 or an already-constructed policy instance.
             policy_kwargs: Extra options for the policy factory.
         """
+        if isinstance(policy, SchedulingPolicy):
+            # A live policy object cannot be content-addressed or shipped
+            # to a worker; run it directly in-process.
+            return self._run_workload_direct(names, policy)
+        plan = self._plan()
+        plan.add(names, policy, policy_kwargs)
+        return self.engine.execute(plan)[0]
+
+    def run_policies(
+        self,
+        names: Workload,
+        policies: list[str],
+        policy_kwargs: dict[str, dict] | None = None,
+    ) -> dict[str, WorkloadResult]:
+        """Run one workload under several policies (the case-study shape).
+
+        All policies' jobs form one batch: the workload's alone baselines
+        are simulated once, and the shared runs execute concurrently when
+        the runner has ``jobs > 1``.
+        """
+        kwargs = policy_kwargs or {}
+        plan = self._plan()
+        order = []
+        for policy in policies:
+            if policy in order:
+                continue
+            order.append(policy)
+            plan.add(names, policy, kwargs.get(policy))
+        results = self.engine.execute(plan)
+        return dict(zip(order, results))
+
+    def run_sweep(
+        self,
+        workloads: list[Workload],
+        policies: list[str],
+        policy_kwargs: dict[str, dict] | None = None,
+    ) -> dict[str, dict[str, WorkloadResult]]:
+        """Run many workloads × policies as one deduplicated job batch.
+
+        Returns ``{workload label: {policy: result}}`` with labels from
+        :func:`repro.workloads.mixes.workload_name`.  This is the sweep
+        shape (Figures 9/11/12): the whole cross product executes as one
+        engine batch, so alone baselines shared between workloads are
+        simulated exactly once and all shared runs parallelize.
+        """
+        from repro.workloads.mixes import workload_name
+
+        kwargs = policy_kwargs or {}
+        plan = self._plan()
+        labels = []
+        for workload in workloads:
+            specs = [resolve_spec(name) for name in workload]
+            labels.append(workload_name([spec.name for spec in specs]))
+            for policy in policies:
+                plan.add(workload, policy, kwargs.get(policy))
+        results = self.engine.execute(plan)
+        sweep: dict[str, dict[str, WorkloadResult]] = {}
+        index = 0
+        for label in labels:
+            per_policy = sweep.setdefault(label, {})
+            for policy in policies:
+                per_policy[policy] = results[index]
+                index += 1
+        return sweep
+
+    # -- legacy direct path ---------------------------------------------------
+    def _run_workload_direct(
+        self, names: Workload, policy: SchedulingPolicy
+    ) -> WorkloadResult:
+        """The pre-engine serial path, kept for live policy instances."""
         if not names:
             raise ValueError("workload cannot be empty")
         if len(names) > self.config.num_cores:
@@ -146,16 +254,10 @@ class ExperimentRunner:
         specs = [resolve_spec(name) for name in names]
         num = len(specs)
         traces = [self.trace_for(spec, i, num) for i, spec in enumerate(specs)]
-        if isinstance(policy, SchedulingPolicy):
-            policy_obj = policy
-            policy_name = policy.name
-        else:
-            policy_obj = make_policy(policy, num_threads=num, **(policy_kwargs or {}))
-            policy_name = policy_obj.name
         budgets = [self.budget_for(spec) for spec in specs]
         mlp_limits = [spec.mlp for spec in specs]
         system = CmpSystem(
-            self.config, traces, policy_obj, budgets, mlp_limits=mlp_limits
+            self.config, traces, policy, budgets, mlp_limits=mlp_limits
         )
         snapshots = system.run()
 
@@ -176,24 +278,11 @@ class ExperimentRunner:
                 )
             )
         extras = {"cycles": system.now}
-        if hasattr(policy_obj, "fairness_rule_fraction"):
-            extras["fairness_rule_fraction"] = policy_obj.fairness_rule_fraction
+        if hasattr(policy, "fairness_rule_fraction"):
+            extras["fairness_rule_fraction"] = policy.fairness_rule_fraction
         return WorkloadResult(
-            policy=policy_name, threads=tuple(threads), extras=extras
+            policy=policy.name, threads=tuple(threads), extras=extras
         )
-
-    def run_policies(
-        self,
-        names: Workload,
-        policies: list[str],
-        policy_kwargs: dict[str, dict] | None = None,
-    ) -> dict[str, WorkloadResult]:
-        """Run one workload under several policies (the case-study shape)."""
-        kwargs = policy_kwargs or {}
-        return {
-            policy: self.run_workload(names, policy, kwargs.get(policy))
-            for policy in policies
-        }
 
 
 def _slowdown(mcpi_shared: float, mcpi_alone: float) -> float:

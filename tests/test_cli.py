@@ -5,6 +5,12 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI runs from touching the user's real result store."""
+    monkeypatch.setenv("STFM_SIM_CACHE_DIR", str(tmp_path / "store"))
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -18,6 +24,25 @@ class TestParser:
     def test_scale_choices_enforced(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig6", "--scale", "huge"])
+
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run", "fig6", "--jobs", "4", "--seed", "3",
+                "--cache-dir", "/tmp/x",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.seed == 3
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache is False
+
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["run", "fig6", "--no-cache"])
+        assert args.jobs == 1
+        assert args.seed is None
+        assert args.cache_dir is None
+        assert args.no_cache is True
 
 
 class TestCommands:
@@ -58,3 +83,46 @@ class TestCommands:
     def test_run_unknown_experiment(self):
         with pytest.raises(ValueError):
             main(["run", "fig99"])
+
+    def test_run_parallel_then_warm_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "run", "fig1", "--scale", "tiny", "--jobs", "2",
+            "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "engine:" in cold
+        assert "0 simulated" not in cold
+        # Second invocation: every job comes from the persistent store.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 simulated" in warm
+        assert "(0 disk, 0 memory)" not in warm
+
+    def test_run_seed_changes_results(self, capsys):
+        assert main(["run", "fig1", "--scale", "tiny", "--no-cache"]) == 0
+        base = capsys.readouterr().out
+        assert (
+            main(["run", "fig1", "--scale", "tiny", "--no-cache",
+                  "--seed", "5"])
+            == 0
+        )
+        reseeded = capsys.readouterr().out
+        assert base != reseeded
+
+    def test_run_exits_nonzero_when_a_job_fails(self, capsys, monkeypatch):
+        from types import SimpleNamespace
+
+        import repro.cli as cli_module
+        from repro.engine import JobFailedError
+
+        def explode(experiment_id, scale="small"):
+            raise JobFailedError(
+                SimpleNamespace(describe=lambda: "shared mcf"), "worker crashed"
+            )
+
+        monkeypatch.setattr(cli_module, "run_experiment", explode)
+        assert main(["run", "fig1", "--scale", "tiny", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "fig1" in err
