@@ -1,4 +1,6 @@
-"""Analysis of reproduction results against the paper's numbers.
+"""Result analysis and the simulator correctness-analysis layer.
+
+Result analysis (paper vs. measurement):
 
 * :mod:`repro.analysis.paper_data` — the reference values transcribed
   from the paper's figures and tables.
@@ -8,6 +10,14 @@
   paper-vs-measured report from a results JSON
   (``stfm-sim run all --json results.json`` then
   ``stfm-sim report results.json``).
+
+Correctness analysis (the simulator's own invariants):
+
+* :mod:`repro.analysis.simlint` — AST-based static lint enforcing the
+  determinism/numeric-hygiene invariants (``stfm-sim lint``).
+* :mod:`repro.analysis.protocol` — the runtime DRAM protocol sanitizer
+  (``--sanitize``): validates every issued command against DDR2 timing
+  and raises :class:`ProtocolViolation` with the offending window.
 """
 
 from repro.analysis.compare import (
@@ -21,15 +31,26 @@ from repro.analysis.paper_data import (
     PAPER_FIG5,
     PAPER_TABLE5,
 )
+from repro.analysis.protocol import (
+    IssuedCommand,
+    ProtocolSanitizer,
+    ProtocolViolation,
+)
 from repro.analysis.report import generate_report
+from repro.analysis.simlint import LintConfig, run_simlint
 
 __all__ = [
+    "IssuedCommand",
+    "LintConfig",
     "OrderingCheck",
     "PAPER_FIG5",
     "PAPER_TABLE5",
     "PAPER_UNFAIRNESS",
+    "ProtocolSanitizer",
+    "ProtocolViolation",
     "generate_report",
     "ordering_agreement",
+    "run_simlint",
     "stfm_is_best",
     "trend_direction",
 ]

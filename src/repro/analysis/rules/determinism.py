@@ -1,0 +1,196 @@
+"""Determinism rules: no wall clock, no unseeded randomness.
+
+The simulator's outputs are content-addressed (``repro.engine.store``)
+and the serial/parallel execution paths must be bit-identical; both
+guarantees die the moment simulated behaviour reads the host's clock or
+an unseeded random stream.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import (
+    CORE_DOMAINS,
+    GENERATION_DOMAINS,
+    LintContext,
+    Rule,
+)
+
+#: ``time`` module functions that read the host clock.
+_WALL_CLOCK_TIME = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+    }
+)
+
+#: ``datetime``/``date`` constructors that read the host clock.
+_WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+
+#: Module-level ``random`` functions — they draw from the implicitly
+#: seeded global ``Random`` instance.
+_GLOBAL_RANDOM = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "lognormvariate",
+        "paretovariate",
+        "vonmisesvariate",
+        "weibullvariate",
+        "triangular",
+        "getrandbits",
+        "seed",
+    }
+)
+
+
+def _imported_names(tree: ast.AST, module: str, names: frozenset[str]) -> set[str]:
+    """Local aliases created by ``from <module> import <name>``."""
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                if alias.name in names:
+                    found.add(alias.asname or alias.name)
+    return found
+
+
+class WallClockRule(Rule):
+    """SIM001: simulated behaviour must not read the host clock.
+
+    Simulated time is the integer cycle counter; anything derived from
+    ``time.time()`` & friends differs between runs and between the
+    serial and parallel engine paths.  (Orchestration code — the engine
+    executor, the CLI — may time things; the simulator core may not.)
+    """
+
+    code = "SIM001"
+    summary = "wall-clock read in simulator core"
+    fixit = (
+        "derive timing from the simulated cycle counter; wall-clock "
+        "measurement belongs in the engine/CLI layer"
+    )
+    domains = GENERATION_DOMAINS
+
+    def check(self, ctx: LintContext):
+        time_aliases = _imported_names(ctx.tree, "time", _WALL_CLOCK_TIME)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                value = func.value
+                if (
+                    isinstance(value, ast.Name)
+                    and value.id == "time"
+                    and func.attr in _WALL_CLOCK_TIME
+                ):
+                    yield self.finding(
+                        ctx, node, f"wall-clock call time.{func.attr}()"
+                    )
+                elif func.attr in _WALL_CLOCK_DATETIME and isinstance(
+                    value, (ast.Name, ast.Attribute)
+                ):
+                    base = value.attr if isinstance(value, ast.Attribute) else value.id
+                    if base in ("datetime", "date"):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"wall-clock call {base}.{func.attr}()",
+                        )
+            elif isinstance(func, ast.Name) and func.id in time_aliases:
+                yield self.finding(
+                    ctx, node, f"wall-clock call {func.id}() (from time import)"
+                )
+
+
+class UnseededRandomRule(Rule):
+    """SIM002: randomness must flow from an explicitly seeded generator.
+
+    The global ``random`` module functions (and a bare
+    ``random.Random()``) seed from the OS; identical inputs then stop
+    producing identical schedules.  Construct ``random.Random(seed)``
+    and thread it through instead.
+    """
+
+    code = "SIM002"
+    summary = "unseeded random number generator"
+    fixit = "use an explicitly seeded random.Random(seed) instance"
+    domains = GENERATION_DOMAINS
+
+    def check(self, ctx: LintContext):
+        aliases = _imported_names(ctx.tree, "random", _GLOBAL_RANDOM)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                base = func.value.id
+                if base == "random" and func.attr in _GLOBAL_RANDOM:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"module-level random.{func.attr}() uses the "
+                        "process-global RNG",
+                    )
+                elif (
+                    base in ("random", "np", "numpy")
+                    and func.attr == "Random"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.finding(
+                        ctx, node, "random.Random() constructed without a seed"
+                    )
+                elif base in ("np", "numpy") and func.attr == "random":
+                    yield self.finding(
+                        ctx, node, "numpy global RNG is unseeded"
+                    )
+            elif isinstance(func, ast.Name) and func.id in aliases:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func.id}() draws from the process-global RNG "
+                    "(from random import)",
+                )
+
+    # Core modules must not even import random; generation modules may
+    # (seeded).  Report bare `import random` only in CORE domains.
+    def run(self, ctx: LintContext):
+        findings = super().run(ctx)
+        if ctx.domain in CORE_DOMAINS and ctx.applies(self.domains):
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name == "random":
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    node,
+                                    "simulator core imports random; "
+                                    "draw seeded streams in workloads/ "
+                                    "and pass values in",
+                                )
+                            )
+        return findings

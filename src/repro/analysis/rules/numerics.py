@@ -1,0 +1,108 @@
+"""Numeric-hygiene rules: float equality, mutable default arguments.
+
+Timing and slowdown quantities flow through float arithmetic whose
+low-order bits depend on accumulation order; gating behaviour on exact
+float equality makes schedules fragile.  Mutable default arguments are
+process-lifetime shared state — a classic source of cross-run coupling
+in long-lived worker processes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import (
+    ALL_DOMAINS,
+    CORE_DOMAINS,
+    LintContext,
+    Rule,
+)
+
+
+class FloatEqualityRule(Rule):
+    """SIM005: no ``==``/``!=`` against float literals in the core.
+
+    Timing/slowdown values are sums of float terms; exact comparison
+    against a float constant encodes an accumulation-order dependence.
+    Compare with a tolerance, or restructure to integers (the simulator
+    keeps all *time* in integer CPU cycles for exactly this reason).
+    """
+
+    code = "SIM005"
+    summary = "exact float equality on a timing/slowdown quantity"
+    fixit = (
+        "compare with an explicit tolerance (math.isclose) or keep the "
+        "quantity in integer cycles"
+    )
+    domains = CORE_DOMAINS
+
+    def check(self, ctx: LintContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    if isinstance(side, ast.Constant) and isinstance(
+                        side.value, float
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"comparison against float literal "
+                            f"{side.value!r} with =="
+                            if isinstance(op, ast.Eq)
+                            else f"comparison against float literal "
+                            f"{side.value!r} with !=",
+                        )
+                        break
+
+
+class MutableDefaultRule(Rule):
+    """SIM006: no mutable default arguments.
+
+    A ``def f(x=[])`` default is created once per process and mutated
+    in place across calls; in the engine's long-lived worker processes
+    that couples unrelated simulations.  Default to ``None`` and create
+    the container in the body.
+    """
+
+    code = "SIM006"
+    summary = "mutable default argument"
+    fixit = "default to None and construct the container inside the function"
+    domains = ALL_DOMAINS
+
+    _MUTABLE_CALLS = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+    )
+
+    def check(self, ctx: LintContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if isinstance(
+                    default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)
+                ):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default in {node.name}()",
+                    )
+                elif (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in self._MUTABLE_CALLS
+                ):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default {default.func.id}() in "
+                        f"{node.name}()",
+                    )

@@ -1,0 +1,264 @@
+"""Ordering rules: no order-sensitive use of unordered containers.
+
+Python ``set`` iteration order depends on insertion history and hash
+seeding of the stored objects; ``id()`` values depend on allocator
+state and can be reused after garbage collection.  Neither may influence
+which DRAM command wins arbitration — the engine's bit-identical
+serial/parallel guarantee iterates these decisions millions of times.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import (
+    ARBITRATION_DOMAINS,
+    LintContext,
+    Rule,
+    annotation_is_dict_of_set,
+    annotation_is_set,
+    walk_shallow,
+)
+
+#: Set methods whose result is again a set.
+_SET_PRODUCING_METHODS = frozenset(
+    {
+        "intersection",
+        "union",
+        "difference",
+        "symmetric_difference",
+        "copy",
+    }
+)
+
+#: Calls that erase iteration-order sensitivity.
+_ORDERING_SINKS = frozenset({"sorted", "len", "sum", "min", "max", "any", "all"})
+
+
+class _ScopeTypes:
+    """Name -> {'set', 'dict_of_set'} facts for one function/module scope."""
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        self.names: dict[str, str] = {}
+
+    def collect(
+        self,
+        body: list[ast.stmt],
+        func: "ast.FunctionDef | ast.AsyncFunctionDef | None" = None,
+    ) -> "_ScopeTypes":
+        if func is not None:
+            arguments = func.args
+            for arg in (
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            ):
+                if arg.annotation is None:
+                    continue
+                if annotation_is_set(arg.annotation):
+                    self.names[arg.arg] = "set"
+                elif annotation_is_dict_of_set(arg.annotation):
+                    self.names[arg.arg] = "dict_of_set"
+        # Two passes so `x = y.get(b)` after `y = <dict-of-set>` resolves
+        # regardless of how many assignment hops are involved (bounded).
+        for _ in range(3):
+            for stmt in body:
+                self._visit(stmt)
+                for node in walk_shallow(stmt):
+                    self._visit(node)
+        return self
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if annotation_is_set(node.annotation):
+                self.names[node.target.id] = "set"
+            elif annotation_is_dict_of_set(node.annotation):
+                self.names[node.target.id] = "dict_of_set"
+        elif isinstance(node, ast.Assign):
+            kind = self.classify(node.value)
+            if kind:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.names[target.id] = kind
+
+    def classify(self, node: ast.AST) -> str | None:
+        """Best-effort container kind of an expression."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set"
+        if isinstance(node, ast.IfExp):
+            body = self.classify(node.body)
+            orelse = self.classify(node.orelse)
+            if body == orelse:
+                return body
+            return None
+        if isinstance(node, ast.Name):
+            return self.names.get(node.id)
+        if isinstance(node, ast.Attribute):
+            if node.attr in self.ctx.index.set_attrs:
+                return "set"
+            if node.attr in self.ctx.index.dict_of_set_attrs:
+                return "dict_of_set"
+            return None
+        if isinstance(node, ast.Subscript):
+            if self.classify(node.value) == "dict_of_set":
+                return "set"
+            return None
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return "set"
+            if isinstance(func, ast.Attribute):
+                owner = self.classify(func.value)
+                if func.attr == "get" and owner == "dict_of_set":
+                    return "set"
+                if func.attr in _SET_PRODUCING_METHODS and owner == "set":
+                    return "set"
+                if func.attr == "values" and owner == "dict_of_set":
+                    # iterating dict .values() is insertion-ordered, but
+                    # each yielded value is a set; not itself a set.
+                    return None
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+        ):
+            left = self.classify(node.left)
+            right = self.classify(node.right)
+            if left == "set" or right == "set":
+                return "set"
+        return None
+
+
+def _scopes(tree: ast.AST):
+    """Yield (function-or-None, body) for the module and every function."""
+    yield None, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+class SetIterationRule(Rule):
+    """SIM003: don't iterate bare sets in scheduling/arbitration code.
+
+    ``for x in some_set`` visits elements in hash-table order, which
+    depends on insertion history (and, for strings, on ``PYTHONHASHSEED``).
+    Any downstream decision — the pick of a candidate, the order of
+    floating-point accumulation — then varies between runs.  Iterate
+    ``sorted(the_set)`` instead (order-insensitive reductions like
+    ``len``/``sum``/``min``/``max`` and membership tests are fine).
+    """
+
+    code = "SIM003"
+    summary = "iteration over an unordered set in an arbitration path"
+    fixit = "iterate sorted(<set>) for a deterministic visit order"
+    domains = ARBITRATION_DOMAINS
+
+    def check(self, ctx: LintContext):
+        for func, body in _scopes(ctx.tree):
+            scope = _ScopeTypes(ctx).collect(body, func)
+            for stmt in body:
+                # A def at scope level is its own scope from _scopes();
+                # walk_shallow only stops at *nested* defs, so descend
+                # here and the body would be checked twice.
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                yield from self._check_block(ctx, scope, stmt)
+
+    def _check_block(self, ctx: LintContext, scope: _ScopeTypes, stmt: ast.stmt):
+        for node in [stmt, *walk_shallow(stmt)]:
+            if isinstance(node, ast.For):
+                kind = scope.classify(node.iter)
+                if kind == "set":
+                    yield self.finding(
+                        ctx,
+                        node.iter,
+                        "for-loop iterates a set; element order is "
+                        "nondeterministic",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                # A set/dict comprehension *result* is unordered anyway;
+                # list/generator comprehensions leak the set's order.
+                if self._consumed_by_sink(ctx, node):
+                    continue
+                for generator in node.generators:
+                    if scope.classify(generator.iter) == "set":
+                        yield self.finding(
+                            ctx,
+                            generator.iter,
+                            "comprehension iterates a set into an "
+                            "ordered result",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in ("list", "tuple")
+                    and node.args
+                    and scope.classify(node.args[0]) == "set"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{func.id}() materializes a set in hash order",
+                    )
+                elif (
+                    isinstance(func, ast.Name)
+                    and func.id == "next"
+                    and node.args
+                    and isinstance(node.args[0], ast.Call)
+                    and isinstance(node.args[0].func, ast.Name)
+                    and node.args[0].func.id == "iter"
+                    and node.args[0].args
+                    and scope.classify(node.args[0].args[0]) == "set"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "next(iter(<set>)) picks an arbitrary element",
+                    )
+
+    def _consumed_by_sink(self, ctx: LintContext, node: ast.AST) -> bool:
+        """True when a comprehension feeds an order-insensitive reducer.
+
+        Detected syntactically: the parent call is found by re-walking
+        from the module root (cheap — files are small).
+        """
+        for parent in ast.walk(ctx.tree):
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDERING_SINKS
+                and any(arg is node for arg in parent.args)
+            ):
+                return True
+        return False
+
+
+class IdKeyedContainerRule(Rule):
+    """SIM004: don't key containers (or decisions) on ``id()``.
+
+    ``id()`` values are allocator addresses: they differ between runs
+    and — worse — are *reused* once an object is collected, so an
+    ``id()``-keyed membership set can silently confuse two requests.
+    Use a stable per-object sequence number instead (see
+    ``MemoryRequest.seq``).
+    """
+
+    code = "SIM004"
+    summary = "id()-keyed state in an arbitration path"
+    fixit = "key on a stable sequence number (e.g. MemoryRequest.seq)"
+    domains = ARBITRATION_DOMAINS
+
+    def check(self, ctx: LintContext):
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and len(node.args) == 1
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "id() is allocator-dependent and reusable after GC",
+                )

@@ -1,0 +1,301 @@
+"""``simlint`` — static analysis for the simulator's correctness invariants.
+
+The paper's central quantity (``S = T_shared / T_alone``) is only
+meaningful while the simulator stays *deterministic* (identical inputs
+produce identical schedules — the experiment engine's bit-identical
+serial/parallel guarantee and its content-addressed result store both
+depend on it) and *protocol-correct* (the DRAM model honors DDR2
+timing; the runtime half of that check lives in
+:mod:`repro.analysis.protocol`).  ``simlint`` walks ``src/repro`` as
+ASTs and mechanically enforces the static half:
+
+========  ==============================================================
+SIM001    no wall-clock reads in the simulator core
+SIM002    no unseeded random number generators
+SIM003    no iteration over bare sets in scheduling/arbitration paths
+SIM004    no ``id()``-keyed state influencing decisions
+SIM005    no exact float equality on timing/slowdown quantities
+SIM006    no mutable default arguments
+========  ==============================================================
+
+Findings can be suppressed per line with a trailing
+``# simlint: disable=SIM003`` (or ``# simlint: disable`` for all
+rules), and per rule via the ``[simlint]`` block of ``setup.cfg``::
+
+    [simlint]
+    # enable = SIM001, SIM003     # run only these
+    disable = SIM005              # never run these
+
+Run it as ``stfm-sim lint [paths...]`` (exit status 1 when findings
+remain) or ``python -m repro.analysis.simlint``; the tier-1 test suite
+runs it over the tree (``tests/test_simlint_clean.py``), so a PR that
+introduces a violation fails CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import configparser
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+from repro.analysis.rules import (
+    Finding,
+    LintContext,
+    ProjectIndex,
+    Rule,
+    all_rules,
+    index_file,
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?"
+)
+
+
+@dataclass
+class LintConfig:
+    """Which rules run (CLI flags override the ``[simlint]`` block)."""
+
+    enable: frozenset[str] | None = None  # None = all registered rules
+    disable: frozenset[str] = frozenset()
+
+    def selects(self, code: str) -> bool:
+        if code in self.disable:
+            return False
+        return self.enable is None or code in self.enable
+
+
+def _parse_codes(raw: str) -> frozenset[str]:
+    return frozenset(
+        code.strip().upper()
+        for code in re.split(r"[,\s]+", raw)
+        if code.strip()
+    )
+
+
+def load_config(config_path: "str | None" = None) -> LintConfig:
+    """Read the ``[simlint]`` block of ``setup.cfg`` (if present).
+
+    Args:
+        config_path: Explicit path to an ini file; by default
+            ``setup.cfg`` is searched in the current directory and then
+            upward from this package (the repository checkout).
+    """
+    candidates = []
+    if config_path:
+        candidates.append(config_path)
+    else:
+        candidates.append(os.path.join(os.getcwd(), "setup.cfg"))
+        here = os.path.dirname(os.path.abspath(__file__))
+        for _ in range(5):
+            here = os.path.dirname(here)
+            candidates.append(os.path.join(here, "setup.cfg"))
+    for candidate in candidates:
+        if not os.path.isfile(candidate):
+            continue
+        parser = configparser.ConfigParser()
+        parser.read(candidate)
+        if not parser.has_section("simlint"):
+            continue
+        section = parser["simlint"]
+        enable = section.get("enable", "").strip()
+        disable = section.get("disable", "").strip()
+        return LintConfig(
+            enable=_parse_codes(enable) if enable else None,
+            disable=_parse_codes(disable) if disable else frozenset(),
+        )
+    return LintConfig()
+
+
+# -- source collection -------------------------------------------------------
+
+
+def _domain_of(path: str) -> str:
+    """First package segment under ``repro/`` ('' when not under repro)."""
+    parts = path.replace(os.sep, "/").split("/")
+    for i, part in enumerate(parts):
+        if part == "repro" and i + 1 < len(parts):
+            remainder = parts[i + 1 :]
+            if len(remainder) == 1:  # repro/cli.py, repro/__init__.py
+                return ""
+            return remainder[0]
+    return ""
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs if d != "__pycache__"]
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(files))
+
+
+@dataclass
+class _Source:
+    path: str
+    source: str
+    tree: ast.AST = field(init=False)
+    error: "Finding | None" = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        try:
+            self.tree = ast.parse(self.source, filename=self.path)
+        except SyntaxError as exc:
+            self.tree = ast.Module(body=[], type_ignores=[])
+            self.error = Finding(
+                path=self.path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                code="SIM000",
+                message=f"syntax error: {exc.msg}",
+                fixit="fix the syntax error so simlint can parse the file",
+            )
+
+
+def _line_suppressions(lines: list[str]) -> dict[int, frozenset[str] | None]:
+    """Per-line suppressions: line -> codes (None = suppress everything)."""
+    suppressed: dict[int, frozenset[str] | None] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        codes = match.group("codes")
+        suppressed[number] = _parse_codes(codes) if codes else None
+    return suppressed
+
+
+def lint_sources(
+    items: "list[tuple[str, str]]",
+    config: "LintConfig | None" = None,
+    rules: "list[Rule] | None" = None,
+) -> list[Finding]:
+    """Lint (path, source) pairs; the unit the tests drive directly.
+
+    A shared :class:`ProjectIndex` is built from *all* items first, so
+    set-typed attributes declared in one file are recognized when
+    iterated in another (e.g. ``ScanInfo.waiting_threads_by_bank``,
+    declared in ``controller.py``, iterated in ``core/estimator.py``).
+    """
+    config = config or LintConfig()
+    rules = rules if rules is not None else all_rules()
+    active = [rule for rule in rules if config.selects(rule.code)]
+
+    sources = [_Source(path, text) for path, text in items]
+    index = ProjectIndex()
+    for source in sources:
+        index_file(source.tree, index)
+
+    findings: list[Finding] = []
+    for source in sources:
+        if source.error is not None:
+            findings.append(source.error)
+            continue
+        lines = source.source.splitlines()
+        ctx = LintContext(
+            path=source.path,
+            domain=_domain_of(source.path),
+            source=source.source,
+            lines=lines,
+            tree=source.tree,
+            index=index,
+        )
+        suppressed = _line_suppressions(lines)
+        for rule in active:
+            for finding in rule.run(ctx):
+                codes = suppressed.get(finding.line, frozenset())
+                if codes is None or finding.code in codes:
+                    continue
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def run_simlint(
+    paths: list[str], config: "LintConfig | None" = None
+) -> list[Finding]:
+    """Lint files/directories on disk and return all findings."""
+    files = collect_files(paths)
+    items = []
+    for path in files:
+        with open(path, encoding="utf-8") as handle:
+            items.append((path, handle.read()))
+    return lint_sources(items, config)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _default_lint_path() -> str:
+    """``src/repro`` relative to a checkout, else this installed package."""
+    candidate = os.path.join(os.getcwd(), "src", "repro")
+    if os.path.isdir(candidate):
+        return candidate
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="Static correctness analysis for the STFM simulator "
+        "(determinism and numeric-hygiene invariants).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files/directories (default: src/repro)"
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="run only these comma-separated rule codes",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="additionally disable these comma-separated rule codes",
+    )
+    parser.add_argument(
+        "--config", metavar="PATH",
+        help="ini file with a [simlint] block (default: setup.cfg)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe rules and exit"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+            print(f"        fix: {rule.fixit}")
+        return 0
+    config = load_config(args.config)
+    if args.select:
+        config.enable = _parse_codes(args.select)
+    if args.ignore:
+        config.disable = config.disable | _parse_codes(args.ignore)
+    paths = args.paths or [_default_lint_path()]
+    findings = run_simlint(paths, config)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("simlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

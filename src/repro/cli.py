@@ -4,9 +4,11 @@ Usage::
 
     stfm-sim list
     stfm-sim run fig6 --scale small
+    stfm-sim run fig3 --sanitize            # with the DRAM protocol sanitizer
     stfm-sim run all --scale tiny
     stfm-sim workload mcf libquantum GemsFDTD astar --policy stfm
     stfm-sim benchmarks          # show the Table 3 registry
+    stfm-sim lint                # static simulator-invariant analysis
 
 (Equivalently: ``python -m repro.cli ...``.)
 """
@@ -14,6 +16,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import replace
@@ -42,7 +45,23 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _enable_sanitizer() -> None:
+    """Turn on the DRAM protocol sanitizer for this process tree.
+
+    The environment toggle (rather than a config field) keeps sanitized
+    results content-identical to unsanitized ones in the result store
+    and is inherited by engine worker processes.
+    """
+    from repro.analysis.protocol import SANITIZE_ENV
+
+    os.environ[SANITIZE_ENV] = "1"
+    print("(DRAM protocol sanitizer enabled: a timing/state violation "
+          "aborts the run)")
+
+
 def _cmd_run(args) -> int:
+    if args.sanitize:
+        _enable_sanitizer()
     if args.experiment == "all":
         ids = list(EXPERIMENTS)
     elif args.experiment == "paper":
@@ -92,6 +111,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_workload(args) -> int:
+    if args.sanitize:
+        _enable_sanitizer()
     config = SystemConfig(num_cores=max(len(args.benchmarks), 2))
     runner = ExperimentRunner(config, instruction_budget=args.budget)
     policies = args.policy or available_policies()
@@ -124,6 +145,21 @@ def _cmd_report(args) -> int:
     else:
         print(report)
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis.simlint import main as simlint_main
+
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.lint_config:
+        argv += ["--config", args.lint_config]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return simlint_main(argv)
 
 
 def _cmd_benchmarks(_args) -> int:
@@ -177,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the persistent result store for this run",
     )
+    run_parser.add_argument(
+        "--sanitize", action="store_true",
+        help="validate every DRAM command against DDR2 timing "
+        "(repro.analysis.protocol); violations abort the run",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     wl_parser = sub.add_parser("workload", help="run an ad-hoc workload")
@@ -185,11 +226,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", action="append", help="scheduler(s); default: all five"
     )
     wl_parser.add_argument("--budget", type=int, default=20_000)
+    wl_parser.add_argument(
+        "--sanitize", action="store_true",
+        help="validate every DRAM command against DDR2 timing",
+    )
     wl_parser.set_defaults(func=_cmd_workload)
 
     sub.add_parser("benchmarks", help="show the Table 3 registry").set_defaults(
         func=_cmd_benchmarks
     )
+
+    lint_parser = sub.add_parser(
+        "lint", help="run simlint, the static simulator-invariant "
+        "analysis (exit 1 on findings)"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", help="files/directories (default: src/repro)"
+    )
+    lint_parser.add_argument(
+        "--select", metavar="CODES", help="run only these rule codes"
+    )
+    lint_parser.add_argument(
+        "--ignore", metavar="CODES", help="additionally disable these codes"
+    )
+    lint_parser.add_argument(
+        "--config", dest="lint_config", metavar="PATH",
+        help="ini file with a [simlint] block (default: setup.cfg)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="describe rules and exit"
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
 
     report_parser = sub.add_parser(
         "report", help="generate the paper-vs-measured markdown report"

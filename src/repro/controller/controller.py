@@ -154,6 +154,25 @@ class MemoryController:
         self._next_refresh = [timing.refi] * mapper.num_channels
         self.refreshes_issued = 0
 
+        # Monotonic per-controller request sequence numbers: a stable,
+        # allocator-independent identity for request-keyed policy state
+        # (PAR-BS batch marking) — unlike id(), never reused.
+        self._next_seq = 0
+        # Optional DRAM protocol sanitizer (repro.analysis.protocol).
+        self.sanitizer = None
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Validate every issued command against DDR2 constraints.
+
+        The sanitizer observes commands on all channels plus the
+        out-of-band state changes (refresh, closed-page auto-precharge);
+        it never alters simulation state, so results are bit-identical
+        with or without it.
+        """
+        self.sanitizer = sanitizer
+        for channel in self.channels:
+            channel.sanitizer = sanitizer
+
     # -- request admission -------------------------------------------------
     def submit(self, request: MemoryRequest, now: int) -> bool:
         """Admit a request into the request buffer.
@@ -162,6 +181,9 @@ class MemoryController:
         retries later (back-pressure).
         """
         request.arrival = now
+        if request.seq is None:
+            request.seq = self._next_seq
+            self._next_seq += 1
         if request.is_write:
             accepted = self.queues.enqueue_write(request)
         else:
@@ -195,6 +217,8 @@ class MemoryController:
                 continue
             self._next_refresh[channel.index] = now + timing.refi
             self.refreshes_issued += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_refresh(channel.index, now)
             for bank in channel.banks:
                 bank.open_row = None
                 bank.busy_until = max(bank.busy_until, now) + timing.rfc
@@ -382,8 +406,12 @@ class MemoryController:
         ]
         if any(r.coords.row == row for r in queue):
             return
-        bank.open_row = None
         precharge_start = max(
             now + self.timing.burst, bank.activated_at + self.timing.ras
         )
+        if self.sanitizer is not None:
+            self.sanitizer.on_auto_precharge(
+                channel.index, bank.index, now, precharge_start
+            )
+        bank.open_row = None
         bank.busy_until = precharge_start + self.timing.rp

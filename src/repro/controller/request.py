@@ -30,6 +30,10 @@ class MemoryRequest:
         got_activate / got_precharge: Whether an ACTIVATE / PRECHARGE was
             issued on this request's behalf, used to classify its service
             as row-hit / row-closed / row-conflict.
+        seq: Per-controller admission sequence number, assigned by
+            ``MemoryController.submit``.  Policies that need request
+            identity (PAR-BS batch marking) key on this — unlike
+            ``id()``, it is deterministic and never reused.
     """
 
     __slots__ = (
@@ -41,6 +45,7 @@ class MemoryRequest:
         "completed_at",
         "got_activate",
         "got_precharge",
+        "seq",
     )
 
     def __init__(
@@ -50,12 +55,14 @@ class MemoryRequest:
         coords: DecodedAddress,
         is_write: bool,
         arrival: int,
+        seq: int | None = None,
     ) -> None:
         self.thread_id = thread_id
         self.address = address
         self.coords = coords
         self.is_write = is_write
         self.arrival = arrival
+        self.seq = seq
         self.completed_at: int | None = None
         self.got_activate = False
         self.got_precharge = False

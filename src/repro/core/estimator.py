@@ -89,7 +89,9 @@ class InterferenceEstimator:
         issuer = candidate.thread_id
         queues = self.controller.queues
         latency = candidate.latency
-        for thread in waiters:
+        # sorted(): the scan structures are sets; a fixed visit order
+        # keeps float interference accumulation bit-reproducible (SIM003).
+        for thread in sorted(waiters):
             if thread == issuer:
                 continue
             parallelism = max(1, queues.waiting_bank_count(thread))
@@ -108,7 +110,7 @@ class InterferenceEstimator:
             if self.basis == "waiting"
             else scan.ready_column_threads
         )
-        for thread in column_threads:
+        for thread in sorted(column_threads):
             if thread != issuer:
                 self.registers.add_interference(thread, t_bus)
 

@@ -25,6 +25,9 @@ class Channel:
         # Issue statistics, by command kind.
         self.commands_issued = {kind: 0 for kind in CommandKind}
         self.data_bus_busy_cycles = 0
+        # Optional protocol sanitizer (repro.analysis.protocol); when
+        # attached it validates every command before state advances.
+        self.sanitizer = None
 
     def command_bus_free(self, now: int) -> bool:
         """One command per DRAM cycle on the shared command bus."""
@@ -53,6 +56,8 @@ class Channel:
         For PRECHARGE/ACTIVATE the return value is the time the bank
         becomes ready again (informational).
         """
+        if self.sanitizer is not None:
+            self.sanitizer.observe(self.index, bank.index, kind, row, now)
         self.last_command_cycle = now
         self.commands_issued[kind] += 1
         bank.apply(kind, row, now)

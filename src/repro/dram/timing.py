@@ -35,6 +35,16 @@ class DramTiming:
         t_overhead_ns: Fixed round-trip overhead outside the DRAM chip
             (controller queuing/decode plus on-chip interconnect), chosen
             so uncontended row-hit latency is ~35 ns as in Table 2.
+        t_wtr_ns: Write-to-read turnaround — delay from the end of a
+            write burst to the next READ command on the channel.  The
+            simplified in-order data bus does not model the turnaround
+            (writes pay the same column latency as reads), so the
+            default is 0 and the protocol sanitizer's tWTR check is a
+            no-op unless a nonzero value is configured.
+        t_ccd_ns: Minimum column-command spacing on a channel (CAS to
+            CAS).  The in-order data bus already separates column
+            commands by one burst, so the default equals
+            ``t_burst_ns`` — tighter DDR2 tCCD values are implied.
         t_refi_ns: Average refresh interval (one all-bank refresh is due
             every tREFI; 7.8 us for DDR2).  Refresh is modeled only when
             the system config enables it — the paper does not study it.
@@ -50,6 +60,8 @@ class DramTiming:
     t_ras_ns: float = 45.0
     t_burst_ns: float = 10.0
     t_overhead_ns: float = 10.0
+    t_wtr_ns: float = 0.0
+    t_ccd_ns: float = 10.0
     t_refi_ns: float = 7800.0
     t_rfc_ns: float = 127.5
     dram_clock_ns: float = 2.5
@@ -62,6 +74,8 @@ class DramTiming:
     ras: int = field(init=False)
     burst: int = field(init=False)
     overhead: int = field(init=False)
+    wtr: int = field(init=False)
+    ccd: int = field(init=False)
     refi: int = field(init=False)
     rfc: int = field(init=False)
     dram_cycle: int = field(init=False)
@@ -74,6 +88,8 @@ class DramTiming:
         object.__setattr__(self, "ras", to_cycles(self.t_ras_ns))
         object.__setattr__(self, "burst", to_cycles(self.t_burst_ns))
         object.__setattr__(self, "overhead", to_cycles(self.t_overhead_ns))
+        object.__setattr__(self, "wtr", to_cycles(self.t_wtr_ns))
+        object.__setattr__(self, "ccd", to_cycles(self.t_ccd_ns))
         object.__setattr__(self, "refi", to_cycles(self.t_refi_ns))
         object.__setattr__(self, "rfc", to_cycles(self.t_rfc_ns))
         object.__setattr__(self, "dram_cycle", to_cycles(self.dram_clock_ns))

@@ -46,7 +46,10 @@ class ParBsPolicy(SchedulingPolicy):
             raise ValueError("marking_cap must be at least 1")
         self.num_threads = num_threads
         self.marking_cap = marking_cap
-        self._marked: set[int] = set()  # id() of marked requests
+        # Marked requests by their controller-assigned sequence number
+        # (MemoryRequest.seq): stable and never reused, unlike id(),
+        # whose values recycle after GC and can corrupt membership.
+        self._marked: set[int] = set()
         self._rank_priority = [0] * num_threads
         self.batches_formed = 0
 
@@ -74,7 +77,7 @@ class ParBsPolicy(SchedulingPolicy):
                     if count >= self.marking_cap:
                         continue
                     taken[request.thread_id] = count + 1
-                    marked.add(id(request))
+                    marked.add(request.seq)
                 for thread, count in taken.items():
                     per_thread_bank[thread].append(count)
         if not any_requests:
@@ -99,14 +102,14 @@ class ParBsPolicy(SchedulingPolicy):
     # -- prioritization ------------------------------------------------------
     def priority_key(self, candidate: CommandCandidate, now: int):
         return (
-            1 if id(candidate.request) in self._marked else 0,
+            1 if candidate.request.seq in self._marked else 0,
             1 if candidate.is_column else 0,
             self._rank_priority[candidate.thread_id],
             -candidate.arrival,
         )
 
     def on_request_completed(self, request, now: int) -> None:
-        self._marked.discard(id(request))
+        self._marked.discard(request.seq)
 
     @property
     def marked_remaining(self) -> int:

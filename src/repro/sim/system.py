@@ -28,7 +28,20 @@ class CmpSystem:
         policy: SchedulingPolicy,
         instruction_budget: int | list[int],
         mlp_limits: list[int] | None = None,
+        sanitize: bool | None = None,
     ) -> None:
+        """Build the system.
+
+        Args:
+            sanitize: Attach the DRAM protocol sanitizer
+                (:mod:`repro.analysis.protocol`) — every issued command
+                is validated against DDR2 timing and a violation raises
+                ``ProtocolViolation``.  ``None`` (default) defers to the
+                ``STFM_SIM_SANITIZE`` environment toggle, which the CLI
+                ``--sanitize`` flag sets so engine worker processes
+                inherit it.  The sanitizer is observation-only: results
+                are bit-identical either way.
+        """
         if len(traces) > config.num_cores:
             raise ValueError("more traces than cores")
         if isinstance(instruction_budget, int):
@@ -66,6 +79,18 @@ class CmpSystem:
             )
             for i, trace in enumerate(traces)
         ]
+        if sanitize is None:
+            from repro.analysis.protocol import sanitize_enabled
+
+            sanitize = sanitize_enabled()
+        self.sanitizer = None
+        if sanitize:
+            from repro.analysis.protocol import ProtocolSanitizer
+
+            self.sanitizer = ProtocolSanitizer(
+                config.timing, self.mapper.num_channels, self.mapper.num_banks
+            )
+            self.controller.attach_sanitizer(self.sanitizer)
         # Wire STFM's Tshared source: the cores' memory-stall counters
         # (the paper communicates these with every memory request).
         if hasattr(policy, "set_tshared_source"):

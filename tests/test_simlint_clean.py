@@ -1,0 +1,25 @@
+"""Tier-1 gate: the shipped tree must be ``simlint``-clean.
+
+This makes the determinism invariants part of CI — a PR that introduces
+a wall-clock read, an unseeded RNG, bare-set iteration in an arbitration
+path, ``id()``-keyed decision state, a float-equality gate, or a mutable
+default argument fails here with the rule's fix-it message.
+"""
+
+from pathlib import Path
+
+from repro.analysis.simlint import load_config, run_simlint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SOURCE_TREE = REPO_ROOT / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert SOURCE_TREE.is_dir()
+
+
+def test_simlint_clean_over_source_tree():
+    config = load_config(str(REPO_ROOT / "setup.cfg"))
+    findings = run_simlint([str(SOURCE_TREE)], config)
+    report = "\n".join(finding.format() for finding in findings)
+    assert not findings, f"simlint findings in the shipped tree:\n{report}"
