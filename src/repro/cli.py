@@ -9,6 +9,10 @@ Usage::
     stfm-sim workload mcf libquantum GemsFDTD astar --policy stfm
     stfm-sim benchmarks          # show the Table 3 registry
     stfm-sim lint                # static simulator-invariant analysis
+    stfm-sim serve               # run the HTTP simulation service
+    stfm-sim submit fig3 --wait  # submit a job to a running service
+    stfm-sim status <job-id>     # query a job (or service health)
+    stfm-sim cache --prune       # inspect/prune the result store
 
 (Equivalently: ``python -m repro.cli ...``.)
 """
@@ -162,6 +166,128 @@ def _cmd_lint(args) -> int:
     return simlint_main(argv)
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.server import ServiceConfig, serve
+
+    if args.workers < 1:
+        print("serve: need at least one worker", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    state_dir = args.state_dir or os.path.join(
+        args.cache_dir or default_cache_dir(), "service"
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        engine_jobs=args.engine_jobs,
+        cache_dir=cache_dir,
+        state_dir=state_dir,
+    )
+    return serve(config)
+
+
+def _build_submit_spec(args) -> dict:
+    if args.workload:
+        spec: dict = {
+            "kind": "workload",
+            "benchmarks": args.workload,
+            "policy": args.policy or "fr-fcfs",
+        }
+        if args.budget is not None:
+            spec["budget"] = args.budget
+        if args.num_cores is not None:
+            spec["num_cores"] = args.num_cores
+    elif args.experiment:
+        spec = {
+            "kind": "experiment",
+            "experiment": args.experiment,
+            "scale": args.scale,
+        }
+    else:
+        raise SystemExit("submit: give an experiment id or --workload NAMES")
+    if args.seed is not None:
+        spec["seed"] = args.seed
+    return spec
+
+
+def _cmd_submit(args) -> int:
+    import json as json_module
+
+    from repro.service.client import BackpressureError, ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    spec = _build_submit_spec(args)
+    try:
+        view = client.submit(spec)
+    except BackpressureError as exc:
+        print(
+            f"submit: queue full, retry in {exc.retry_after}s",
+            file=sys.stderr,
+        )
+        return 1
+    except (ServiceError, OSError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    if view.get("deduplicated"):
+        print(f"job {view['id']}: coalesced with an identical in-flight job")
+    else:
+        print(f"job {view['id']}: {view['status']}")
+    if not args.wait:
+        return 0
+    view = client.wait(view["id"], timeout=args.timeout)
+    print(json_module.dumps(view, indent=2, sort_keys=True))
+    return 0 if view["status"] == "done" else 1
+
+
+def _cmd_status(args) -> int:
+    import json as json_module
+
+    from repro.service.client import ServiceClient, ServiceError, parse_metrics
+
+    client = ServiceClient(args.server)
+    try:
+        if args.job_id:
+            print(json_module.dumps(client.job(args.job_id), indent=2,
+                                    sort_keys=True))
+            return 0
+        health = client.health()
+        metrics = parse_metrics(client.metrics())
+        print(json_module.dumps(health, indent=2, sort_keys=True))
+        for name in (
+            "stfm_service_queue_depth",
+            "stfm_service_inflight_jobs",
+            "stfm_store_hits_total",
+            "stfm_store_misses_total",
+            "stfm_engine_jobs_simulated_total",
+        ):
+            if name in metrics:
+                print(f"{name} {metrics[name]:g}")
+        return 0
+    except (ServiceError, OSError) as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_cache(args) -> int:
+    from repro.engine.store import ResultStore
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    store = ResultStore(cache_dir)
+    stats = store.stats()
+    print(
+        f"{cache_dir}: {stats.entries} entr{'y' if stats.entries == 1 else 'ies'}, "
+        f"{stats.total_bytes} bytes"
+    )
+    if args.prune:
+        removed = store.prune()
+        print(f"pruned {removed.entries} entr"
+              f"{'y' if removed.entries == 1 else 'ies'} "
+              f"({removed.total_bytes} bytes)")
+    return 0
+
+
 def _cmd_benchmarks(_args) -> int:
     print(
         format_table(
@@ -257,6 +383,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="describe rules and exit"
     )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the HTTP simulation service (see repro.service)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="0 picks a free port"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent jobs (worker threads)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="admission queue capacity (429 beyond this)",
+    )
+    serve_parser.add_argument(
+        "--engine-jobs", type=int, default=1, metavar="N",
+        help="simulation worker processes per running job",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="shared result store (default: $STFM_SIM_CACHE_DIR or "
+        "~/.cache/stfm-sim)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared result store (no cross-client dedup)",
+    )
+    serve_parser.add_argument(
+        "--state-dir", metavar="PATH", default=None,
+        help="job-state directory (default: <cache-dir>/service)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a job to a running service"
+    )
+    submit_parser.add_argument(
+        "experiment", nargs="?", help="experiment id, e.g. fig3"
+    )
+    submit_parser.add_argument(
+        "--workload", nargs="+", metavar="BENCH",
+        help="submit an ad-hoc workload instead of an experiment",
+    )
+    submit_parser.add_argument(
+        "--server", default="http://127.0.0.1:8765", metavar="URL"
+    )
+    submit_parser.add_argument(
+        "--scale", default="small", choices=list(SCALES)
+    )
+    submit_parser.add_argument("--policy", default=None)
+    submit_parser.add_argument("--budget", type=int, default=None)
+    submit_parser.add_argument("--num-cores", type=int, default=None)
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print its result",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait deadline in seconds",
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
+
+    status_parser = sub.add_parser(
+        "status", help="query a job, or service health without an id"
+    )
+    status_parser.add_argument("job_id", nargs="?")
+    status_parser.add_argument(
+        "--server", default="http://127.0.0.1:8765", metavar="URL"
+    )
+    status_parser.set_defaults(func=_cmd_status)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or prune the engine result store"
+    )
+    cache_parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="result store (default: $STFM_SIM_CACHE_DIR or "
+        "~/.cache/stfm-sim)",
+    )
+    cache_parser.add_argument(
+        "--prune", action="store_true", help="delete every cached entry"
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     report_parser = sub.add_parser(
         "report", help="generate the paper-vs-measured markdown report"

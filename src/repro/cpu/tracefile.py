@@ -11,10 +11,15 @@ scheduler configurations::
     3  R 0x00012380 1
 
 Lines starting with ``#`` are comments; fields are whitespace-separated.
+
+Paths ending in ``.gz`` are transparently gzip-compressed on write and
+decompressed on read — long captured traces are highly repetitive and
+compress well.
 """
 
 from __future__ import annotations
 
+import gzip
 from pathlib import Path
 
 from repro.cpu.trace import Trace, TraceRecord
@@ -22,8 +27,23 @@ from repro.cpu.trace import Trace, TraceRecord
 _HEADER_PREFIX = "# repro-trace v1"
 
 
+def _write_text(path: Path, text: str) -> None:
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        path.write_text(text)
+
+
+def _read_text(path: Path) -> str:
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return handle.read()
+    return path.read_text()
+
+
 def save_trace(trace: Trace, path: str | Path) -> None:
-    """Write a trace to ``path`` in the text format above."""
+    """Write a trace to ``path`` (gzip-compressed for ``*.gz``)."""
     path = Path(path)
     lines = [f"{_HEADER_PREFIX} loop={int(trace.loop)}"]
     lines.append("# compute kind address dependent")
@@ -33,7 +53,7 @@ def save_trace(trace: Trace, path: str | Path) -> None:
             f"{record.compute} {kind} 0x{record.address:x} "
             f"{int(record.dependent)}"
         )
-    path.write_text("\n".join(lines) + "\n")
+    _write_text(path, "\n".join(lines) + "\n")
 
 
 def load_trace(path: str | Path) -> Trace:
@@ -43,7 +63,7 @@ def load_trace(path: str | Path) -> Trace:
         ValueError: on a missing/incompatible header or malformed line.
     """
     path = Path(path)
-    lines = path.read_text().splitlines()
+    lines = _read_text(path).splitlines()
     if not lines or not lines[0].startswith(_HEADER_PREFIX):
         raise ValueError(f"{path} is not a repro-trace v1 file")
     loop = "loop=1" in lines[0]

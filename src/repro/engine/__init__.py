@@ -43,7 +43,7 @@ from repro.engine.options import (
     default_cache_dir,
     engine_options,
 )
-from repro.engine.store import ResultStore
+from repro.engine.store import ResultStore, StoreStats
 
 __all__ = [
     "AloneJob",
@@ -55,6 +55,7 @@ __all__ = [
     "JobFailedError",
     "ResultStore",
     "SharedJob",
+    "StoreStats",
     "WorkloadRequest",
     "budget_for",
     "current_options",

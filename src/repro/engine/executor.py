@@ -20,6 +20,7 @@ parallel path returns exactly what the serial path computes.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, replace
@@ -105,8 +106,10 @@ class EngineReport:
 
 #: Process-wide aggregate across every executor — lets the CLI report
 #: engine activity without threading runner objects through the
-#: experiment registry.
+#: experiment registry.  Updated under a lock: the simulation service
+#: runs several executors on concurrent worker threads.
 _SESSION = EngineReport()
+_SESSION_LOCK = threading.Lock()
 
 
 def session_report() -> EngineReport:
@@ -218,7 +221,8 @@ class JobExecutor:
         finally:
             batch.wall_time = time.perf_counter() - started
             self.report.add(batch)
-            _SESSION.add(batch)
+            with _SESSION_LOCK:
+                _SESSION.add(batch)
         return payloads
 
     # -- serial path --------------------------------------------------------

@@ -5,13 +5,23 @@ own runners, so the CLI cannot hand each of them an engine directly.
 Instead it installs :class:`EngineOptions` for the duration of the run
 via :func:`engine_options`, and :func:`repro.experiments.common.make_runner`
 picks up :func:`current_options` when building runners.
+
+The installed stack is a :class:`contextvars.ContextVar`, so it is
+*context-local*: concurrent consumers — the simulation service's worker
+threads, or asyncio tasks — each see only the options they installed
+themselves, never a sibling's.
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.store import ResultStore
 
 
 @dataclass(frozen=True)
@@ -21,22 +31,30 @@ class EngineOptions:
     Attributes:
         jobs: Worker processes (1 = serial in-process execution).
         cache_dir: Result-store directory; None disables persistence.
+        store: An already-constructed :class:`ResultStore` instance
+            (overrides ``cache_dir``).  Passing the instance — rather
+            than a directory — lets several runners share one store
+            object, and with it its hit/miss counters: this is how the
+            simulation service observes cross-client dedup.
         timeout: Per-job wall-clock limit in seconds (parallel only).
         retries: Extra attempts after a worker crash or timeout.
     """
 
     jobs: int = 1
     cache_dir: "str | None" = None
+    store: "ResultStore | None" = None
     timeout: "float | None" = None
     retries: int = 1
 
 
-_STACK: list[EngineOptions] = [EngineOptions()]
+_STACK: contextvars.ContextVar[tuple[EngineOptions, ...]] = contextvars.ContextVar(
+    "repro_engine_options", default=(EngineOptions(),)
+)
 
 
 def current_options() -> EngineOptions:
     """The options installed by the innermost :func:`engine_options`."""
-    return _STACK[-1]
+    return _STACK.get()[-1]
 
 
 @contextmanager
@@ -45,11 +63,11 @@ def engine_options(options: "EngineOptions | None" = None, **overrides):
     base = options if options is not None else current_options()
     if overrides:
         base = replace(base, **overrides)
-    _STACK.append(base)
+    token = _STACK.set(_STACK.get() + (base,))
     try:
         yield base
     finally:
-        _STACK.pop()
+        _STACK.reset(token)
 
 
 def default_cache_dir() -> str:

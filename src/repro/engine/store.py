@@ -18,18 +18,45 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+from dataclasses import dataclass
 from pathlib import Path
 
 
+@dataclass(frozen=True)
+class StoreStats:
+    """Size of (or amount removed from) a result store."""
+
+    entries: int
+    total_bytes: int
+
+
 class ResultStore:
-    """A directory of ``<sha256>.json`` job payloads."""
+    """A directory of ``<sha256>.json`` job payloads.
+
+    One store instance may be shared by concurrent consumers (the
+    simulation service hands the same object to every worker thread):
+    reads and writes go straight to the filesystem, and the ``hits`` /
+    ``misses`` counters are updated under a lock so cross-client cache
+    behaviour can be observed accurately.
+    """
 
     def __init__(self, root: "str | Path") -> None:
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
 
     def _path(self, cache_key: str) -> Path:
         return self.root / cache_key[:2] / f"{cache_key}.json"
+
+    def _count(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
 
     def get(self, cache_key: str) -> dict | None:
         """Payload for a key, or None on miss (or corrupt entry)."""
@@ -37,11 +64,47 @@ class ResultStore:
         try:
             with path.open() as handle:
                 entry = json.load(handle)
-            return entry["payload"]
+            payload = entry["payload"]
         except FileNotFoundError:
+            self._count(hit=False)
             return None
         except (OSError, ValueError, KeyError, TypeError):
+            self._count(hit=False)
             return None
+        self._count(hit=True)
+        return payload
+
+    def stats(self) -> StoreStats:
+        """Entry count and total payload bytes currently on disk."""
+        entries = 0
+        total = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return StoreStats(entries=entries, total_bytes=total)
+
+    def prune(self) -> StoreStats:
+        """Delete every entry; returns what was removed."""
+        removed = 0
+        freed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # not empty (concurrent writer) — keep it
+        return StoreStats(entries=removed, total_bytes=freed)
 
     def put(self, cache_key: str, payload: dict, describe: str = "",
             kind: str = "") -> None:

@@ -32,6 +32,7 @@ def make_runner(
         seed=scale.seed,
         jobs=options.jobs,
         cache_dir=options.cache_dir,
+        store=options.store,
         timeout=options.timeout,
         retries=options.retries,
     )

@@ -1,0 +1,161 @@
+"""Thin blocking client for the simulation service.
+
+Stdlib-only (``http.client``), one connection per request — the server
+speaks ``Connection: close``.  Used by the ``stfm-sim submit`` /
+``status`` CLI verbs, the examples, and the test suite::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit({"kind": "experiment", "experiment": "fig3",
+                         "scale": "tiny"})
+    done = client.wait(job["id"])
+    print(done["result"]["rows"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+
+
+class ServiceError(RuntimeError):
+    """Any non-success HTTP response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class BackpressureError(ServiceError):
+    """429: the admission queue is full; retry after ``retry_after``s."""
+
+    def __init__(self, retry_after: int, message: str) -> None:
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Talks to one service instance at ``base_url``."""
+
+    def __init__(
+        self, base_url: str = "http://127.0.0.1:8765", timeout: float = 60.0
+    ) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError("only http:// service URLs are supported")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8765
+        self.timeout = timeout
+
+    # -- low-level ----------------------------------------------------------
+    def request(
+        self, method: str, path: str, body: "dict | None" = None
+    ) -> tuple[int, dict, "dict | str"]:
+        """One round trip → (status, headers, decoded body).
+
+        JSON bodies decode to dicts; anything else (``/metrics``) comes
+        back as text.  No status is raised here — the typed helpers
+        below do that.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            response_headers = {k.lower(): v for k, v in response.getheaders()}
+            content_type = response_headers.get("content-type", "")
+            if content_type.startswith("application/json"):
+                decoded: "dict | str" = json.loads(raw.decode())
+            else:
+                decoded = raw.decode()
+            return response.status, response_headers, decoded
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str, body=None, ok=(200, 202)):
+        status, headers, decoded = self.request(method, path, body)
+        if status in ok:
+            return status, headers, decoded
+        message = (
+            decoded.get("error", str(decoded))
+            if isinstance(decoded, dict)
+            else str(decoded)
+        )
+        if status == 429:
+            retry_after = int(headers.get("retry-after", "1"))
+            raise BackpressureError(retry_after, message)
+        raise ServiceError(status, message)
+
+    # -- API ----------------------------------------------------------------
+    def submit(self, spec: dict) -> dict:
+        """POST a job spec; returns the admission view (``id``,
+        ``status``, ``deduplicated``).  Raises :class:`BackpressureError`
+        on 429 and :class:`ServiceError` on 400/503."""
+        _status, _headers, decoded = self._checked(
+            "POST", "/v1/jobs", body=spec
+        )
+        return decoded
+
+    def job(self, job_id: str) -> dict:
+        _status, _headers, decoded = self._checked("GET", f"/v1/jobs/{job_id}")
+        return decoded
+
+    def result(self, job_id: str) -> dict:
+        """The job view including its result once terminal; a still
+        queued/running job returns its 202 view (no ``result`` key)."""
+        _status, _headers, decoded = self._checked(
+            "GET", f"/v1/results/{job_id}"
+        )
+        return decoded
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.1
+    ) -> dict:
+        """Poll until the job is terminal; returns its result view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.result(job_id)
+            if view["status"] in ("done", "failed"):
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def health(self) -> dict:
+        _status, _headers, decoded = self._checked("GET", "/healthz")
+        return decoded
+
+    def metrics(self) -> str:
+        _status, _headers, decoded = self._checked("GET", "/metrics")
+        return decoded
+
+
+def parse_metrics(text: str) -> dict[str, float]:
+    """Prometheus exposition text → ``{'name{labels}': value}``.
+
+    Series keep their label block verbatim
+    (``stfm_service_jobs_total{event="done"}``); unlabelled samples key
+    by bare name.  Convenient for tests and ``stfm-sim status``.
+    """
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            values[name] = float(value)
+        except ValueError:
+            continue
+    return values

@@ -1,0 +1,142 @@
+"""Prometheus-text metrics for the simulation service.
+
+A minimal registry in the Prometheus exposition format (text version
+0.0.4): counters and gauges with optional labels, gauges that read a
+callback at scrape time (queue depth, in-flight jobs, store counters),
+and a summary-style pair (``_sum``/``_count``) for per-job wall time.
+
+All mutation happens on the event loop; values sampled from other
+layers at scrape time (the engine session report, the result store's
+hit/miss counters) are plain int reads and need no coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+@dataclass
+class Metric:
+    """Base: a named family of labelled samples."""
+
+    name: str
+    help: str
+    mtype: str = "untyped"
+
+    def samples(self) -> Iterable[tuple[str, dict, float]]:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.mtype}",
+        ]
+        for name, labels, value in self.samples():
+            lines.append(f"{name}{_format_labels(labels)} {_format_value(value)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Counter(Metric):
+    """Monotonic counter, optionally split by one label set per series."""
+
+    mtype: str = "counter"
+    _series: dict[tuple, float] = field(default_factory=dict)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = tuple(sorted(labels.items()))
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(tuple(sorted(labels.items())), 0.0)
+
+    def samples(self):
+        if not self._series:
+            return [(self.name, {}, 0.0)]
+        return [
+            (self.name, dict(key), value)
+            for key, value in sorted(self._series.items())
+        ]
+
+
+@dataclass
+class Gauge(Metric):
+    """Instantaneous value — set directly or read from a callback."""
+
+    mtype: str = "gauge"
+    read: "Callable[[], float] | None" = None
+    _value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def samples(self):
+        value = self.read() if self.read is not None else self._value
+        return [(self.name, {}, float(value))]
+
+
+@dataclass
+class Summary(Metric):
+    """``_sum``/``_count`` pair (a label-less Prometheus summary)."""
+
+    mtype: str = "summary"
+    _sum: float = 0.0
+    _count: int = 0
+
+    def observe(self, value: float) -> None:
+        self._sum += value
+        self._count += 1
+
+    def samples(self):
+        return [
+            (f"{self.name}_sum", {}, self._sum),
+            (f"{self.name}_count", {}, float(self._count)),
+        ]
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics rendered into one exposition page."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def counter(self, name: str, help: str) -> Counter:
+        return self._add(Counter(name=name, help=help))
+
+    def gauge(
+        self, name: str, help: str, read: "Callable[[], float] | None" = None
+    ) -> Gauge:
+        return self._add(Gauge(name=name, help=help, read=read))
+
+    def summary(self, name: str, help: str) -> Summary:
+        return self._add(Summary(name=name, help=help))
+
+    def _add(self, metric):
+        if metric.name in self._metrics:
+            raise ValueError(f"duplicate metric {metric.name!r}")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def render(self) -> str:
+        """The whole registry as Prometheus text (version 0.0.4)."""
+        return "\n".join(m.render() for m in self._metrics.values()) + "\n"

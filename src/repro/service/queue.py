@@ -1,0 +1,81 @@
+"""Bounded admission queue with backpressure.
+
+The service never buffers unbounded work: admission happens on the
+event loop (single-threaded, so check-then-put is race-free), and a
+full queue rejects the submission — the HTTP layer turns that into
+``429 Too Many Requests`` with a ``Retry-After`` estimate derived from
+observed job wall times.  Clients that honor the hint converge on the
+service's actual throughput instead of timing out deep in a queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class QueueFullError(Exception):
+    """Admission rejected: the queue is at capacity."""
+
+    def __init__(self, retry_after: int) -> None:
+        super().__init__(f"queue full; retry after {retry_after}s")
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """An ``asyncio.Queue`` of job ids with explicit admission control."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be at least 1")
+        self.limit = limit
+        self._queue: asyncio.Queue[str] = asyncio.Queue(maxsize=limit)
+        # Wall-time bookkeeping for the Retry-After estimate.
+        self._completed = 0
+        self._total_seconds = 0.0
+
+    @property
+    def depth(self) -> int:
+        """Jobs admitted but not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    @property
+    def full(self) -> bool:
+        return self._queue.full()
+
+    def submit(self, job_id: str, inflight: int = 0) -> None:
+        """Admit a job id, or raise :class:`QueueFullError`.
+
+        Args:
+            job_id: The job to enqueue.
+            inflight: Currently-executing jobs, folded into the
+                Retry-After estimate of a rejection.
+        """
+        if self._queue.full():
+            raise QueueFullError(self.retry_after(inflight))
+        self._queue.put_nowait(job_id)
+
+    def retry_after(self, inflight: int = 0) -> int:
+        """Seconds until a queue slot plausibly frees up.
+
+        Mean observed job wall time scaled by the backlog, clamped to
+        [1, 120]; before any job has completed the estimate is 1s.
+        """
+        if not self._completed:
+            return 1
+        mean = self._total_seconds / self._completed
+        estimate = mean * max(1, self.depth + inflight)
+        return max(1, min(120, int(estimate + 0.5)))
+
+    def observe(self, wall_seconds: float) -> None:
+        """Record one completed job's wall time."""
+        self._completed += 1
+        self._total_seconds += wall_seconds
+
+    async def get(self) -> str:
+        return await self._queue.get()
+
+    def task_done(self) -> None:
+        self._queue.task_done()
+
+    async def join(self) -> None:
+        await self._queue.join()

@@ -1,0 +1,436 @@
+"""The asyncio-streams HTTP server: routing, admission, drain.
+
+A deliberately small HTTP/1.1 implementation (request line + headers +
+``Content-Length`` body, one request per connection) on
+``asyncio.start_server`` — no ``http.server``, no threads in the
+serving path.  Endpoints::
+
+    POST /v1/jobs          submit a spec        202 | 200 (coalesced) |
+                                                400 | 429 (+Retry-After) | 503
+    GET  /v1/jobs/<id>     job status           200 | 404
+    GET  /v1/results/<id>  result payload       200 (terminal) | 202 | 404
+    GET  /healthz          liveness + drain state
+    GET  /metrics          Prometheus text (version 0.0.4)
+
+Identical specs submitted while one is queued or running coalesce onto
+the same job id (cross-client dedup *above* the engine); identical
+simulation sub-jobs of *different* specs dedup below, in the shared
+content-addressed result store.  On SIGTERM the service stops admitting
+(503), finishes every admitted job, persists state, and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+
+from repro.engine import session_report
+from repro.engine.store import ResultStore
+from repro.service import state as jobstate
+from repro.service.api import SpecError, parse_spec, spec_digest
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import AdmissionQueue, QueueFullError
+from repro.service.state import Job, JobStore
+from repro.service.workers import WorkerPool, execute_spec
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADERS = 100
+_MAX_BODY = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``stfm-sim serve`` needs to stand up a service."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765  # 0 = pick a free port (tests)
+    workers: int = 2
+    queue_limit: int = 32
+    engine_jobs: int = 1  # simulation processes per running job
+    cache_dir: "str | None" = None  # None disables the shared store
+    state_dir: str = "stfm-service-state"
+
+
+class SimulationService:
+    """One service instance: queue, workers, state, metrics, HTTP."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.store = (
+            ResultStore(config.cache_dir) if config.cache_dir else None
+        )
+        self.state = JobStore(config.state_dir)
+        self.jobs: dict[str, Job] = {}
+        self._active_by_digest: dict[str, str] = {}
+        self._seq = 0
+        self.queue = AdmissionQueue(config.queue_limit)
+        self.pool = WorkerPool(
+            self.queue,
+            run_job=self._work_for,
+            on_done=self._job_done,
+            count=config.workers,
+        )
+        self.draining = False
+        self._stop_requested = asyncio.Event()
+        self._server: "asyncio.base_events.Server | None" = None
+        self.port = config.port
+        self._build_metrics()
+
+    # -- metrics ------------------------------------------------------------
+    def _build_metrics(self) -> None:
+        m = MetricsRegistry()
+        self.metrics = m
+        m.gauge(
+            "stfm_service_queue_depth",
+            "Jobs admitted but not yet picked up by a worker.",
+            read=lambda: self.queue.depth,
+        )
+        m.gauge(
+            "stfm_service_inflight_jobs",
+            "Jobs currently executing on the worker pool.",
+            read=lambda: len(self.pool.inflight),
+        )
+        m.gauge(
+            "stfm_service_draining",
+            "1 while the service is draining after SIGTERM.",
+            read=lambda: int(self.draining),
+        )
+        self.m_http = m.counter(
+            "stfm_service_http_requests_total",
+            "HTTP responses served, by status code.",
+        )
+        self.m_jobs = m.counter(
+            "stfm_service_jobs_total",
+            "Job admissions and outcomes, by event.",
+        )
+        self.m_wall = m.summary(
+            "stfm_service_job_wall_seconds",
+            "Wall-clock seconds per executed job.",
+        )
+        m.gauge(
+            "stfm_store_hits_total",
+            "Result-store lookups answered from disk (cross-client dedup).",
+            read=lambda: self.store.hits if self.store else 0,
+        )
+        m.gauge(
+            "stfm_store_misses_total",
+            "Result-store lookups that required simulation.",
+            read=lambda: self.store.misses if self.store else 0,
+        )
+        m.gauge(
+            "stfm_store_entries",
+            "Entries currently in the shared result store.",
+            read=lambda: self.store.stats().entries if self.store else 0,
+        )
+        m.gauge(
+            "stfm_engine_jobs_simulated_total",
+            "Simulation jobs actually executed by this process's engine.",
+            read=lambda: session_report().jobs_run,
+        )
+        m.gauge(
+            "stfm_engine_cache_hits_total",
+            "Engine cache hits (memory + disk) in this process.",
+            read=lambda: session_report().hits,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        """Recover persisted state, start workers, open the listener."""
+        jobs, requeue = self.state.recover()
+        for job in jobs:
+            self.jobs[job.id] = job
+            self._seq = max(self._seq, job.seq)
+        self.pool.start()
+        for job in requeue:
+            self._active_by_digest[job.digest] = job.id
+            self.queue.submit(job.id, inflight=len(self.pool.inflight))
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_drain(self) -> None:
+        """Signal-safe: stop admitting and let :meth:`run` finish up."""
+        self.draining = True
+        self._stop_requested.set()
+
+    async def drain_and_stop(self) -> None:
+        """Finish every admitted job, then shut everything down."""
+        self.draining = True
+        if self.pool.count > 0:
+            await self.queue.join()
+        await self.pool.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def run(self) -> None:
+        """Serve until SIGTERM/SIGINT, then drain gracefully."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, self.request_drain)
+        print(
+            f"stfm-sim service listening on "
+            f"http://{self.config.host}:{self.port}",
+            flush=True,
+        )
+        await self._stop_requested.wait()
+        print("draining: finishing admitted jobs ...", flush=True)
+        await self.drain_and_stop()
+        print("drained; bye", flush=True)
+
+    # -- job plumbing --------------------------------------------------------
+    def _work_for(self, job_id: str):
+        """Event-loop hook: mark RUNNING and build the blocking closure."""
+        job = self.jobs[job_id]
+        job.status = jobstate.RUNNING
+        self.state.save(job)
+        return partial(
+            execute_spec,
+            job.spec,
+            store=self.store,
+            engine_jobs=self.config.engine_jobs,
+        )
+
+    def _job_done(
+        self, job_id: str, result: "dict | None", error: "str | None",
+        wall: float,
+    ) -> None:
+        job = self.jobs[job_id]
+        job.wall_time = wall
+        if error is None:
+            job.status = jobstate.DONE
+            job.result = result
+            self.m_jobs.inc(event="done")
+        else:
+            job.status = jobstate.FAILED
+            job.error = error
+            self.m_jobs.inc(event="failed")
+        self.m_wall.observe(wall)
+        if self._active_by_digest.get(job.digest) == job_id:
+            del self._active_by_digest[job.digest]
+        self.state.save(job)
+
+    def _submit(self, raw_spec: object) -> tuple[int, dict]:
+        spec = parse_spec(raw_spec)  # SpecError → 400 (handled by caller)
+        normalized = spec.normalized()
+        digest = spec_digest(normalized)
+        active = self._active_by_digest.get(digest)
+        if active is not None:
+            self.m_jobs.inc(event="coalesced")
+            view = self.jobs[active].view()
+            view["deduplicated"] = True
+            return 200, view
+        self._seq += 1
+        job = Job(
+            id=f"{digest[:12]}-{self._seq:04d}",
+            spec=normalized,
+            digest=digest,
+            seq=self._seq,
+        )
+        try:
+            self.queue.submit(job.id, inflight=len(self.pool.inflight))
+        except QueueFullError:
+            self._seq -= 1
+            self.m_jobs.inc(event="rejected")
+            raise
+        self.jobs[job.id] = job
+        self._active_by_digest[digest] = job.id
+        self.state.save(job)
+        self.m_jobs.inc(event="submitted")
+        view = job.view()
+        view["deduplicated"] = False
+        view["location"] = f"/v1/jobs/{job.id}"
+        return 202, view
+
+    # -- HTTP ---------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, headers, body = 500, {}, b""
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                writer.close()
+                return
+            method, path, req_body = request
+            status, headers, body = self._route(method, path, req_body)
+        except _HttpError as exc:
+            status, headers, body = _json_response(
+                exc.status, {"error": exc.message}
+            )
+        except Exception as exc:  # never kill the server on one request
+            status, headers, body = _json_response(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        try:
+            self.m_http.inc(code=str(status))
+            writer.write(_serialize_response(status, headers, body))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict, bytes]:
+        if path == "/healthz" and method == "GET":
+            return _json_response(200, self._health())
+        if path == "/metrics" and method == "GET":
+            return (
+                200,
+                {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+                self.metrics.render().encode(),
+            )
+        if path == "/v1/jobs" and method == "POST":
+            return self._route_submit(body)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._route_job(path[len("/v1/jobs/"):], with_result=False)
+        if path.startswith("/v1/results/") and method == "GET":
+            return self._route_job(
+                path[len("/v1/results/"):], with_result=True
+            )
+        if path in ("/v1/jobs",) or path.startswith(("/v1/", "/healthz", "/metrics")):
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        raise _HttpError(404, f"no such endpoint: {path}")
+
+    def _route_submit(self, body: bytes) -> tuple[int, dict, bytes]:
+        if self.draining:
+            raise _HttpError(503, "service is draining; not accepting jobs")
+        try:
+            raw = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise _HttpError(400, "request body is not valid JSON") from None
+        try:
+            status, view = self._submit(raw)
+        except SpecError as exc:
+            raise _HttpError(400, str(exc)) from None
+        except QueueFullError as exc:
+            status, headers, payload = _json_response(
+                429,
+                {
+                    "error": "admission queue is full",
+                    "retry_after": exc.retry_after,
+                },
+            )
+            headers["Retry-After"] = str(exc.retry_after)
+            return status, headers, payload
+        return _json_response(status, view)
+
+    def _route_job(
+        self, job_id: str, with_result: bool
+    ) -> tuple[int, dict, bytes]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        if not with_result:
+            return _json_response(200, job.view())
+        if job.status in jobstate.TERMINAL:
+            return _json_response(200, job.view(include_result=True))
+        return _json_response(202, job.view())
+
+    def _health(self) -> dict:
+        by_status: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "status": "draining" if self.draining else "ok",
+            "queue_depth": self.queue.depth,
+            "inflight": len(self.pool.inflight),
+            "workers": self.pool.count,
+            "jobs": by_status,
+            "store": self.store is not None,
+        }
+
+
+# -- HTTP wire helpers -------------------------------------------------------
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> "tuple[str, str, bytes] | None":
+    """Parse one request; None for an immediately-closed connection."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not line:
+        return None
+    if len(line) > _MAX_REQUEST_LINE:
+        raise _HttpError(400, "request line too long")
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _HttpError(400, "malformed request line")
+    method, target, _version = parts
+    if method not in ("GET", "POST"):
+        raise _HttpError(405, f"unsupported method {method}")
+    headers = {}
+    for _ in range(_MAX_HEADERS):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if b":" in line:
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+    else:
+        raise _HttpError(400, "too many headers")
+    body = b""
+    if method == "POST":
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length > _MAX_BODY:
+            raise _HttpError(413, "request body too large")
+        if length:
+            body = await reader.readexactly(length)
+    path = target.split("?", 1)[0]
+    return method, path, body
+
+
+def _json_response(status: int, payload: dict) -> tuple[int, dict, bytes]:
+    return (
+        status,
+        {"Content-Type": "application/json"},
+        (json.dumps(payload) + "\n").encode(),
+    )
+
+
+def _serialize_response(status: int, headers: dict, body: bytes) -> bytes:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    headers = {"Connection": "close", "Content-Length": str(len(body)), **headers}
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def serve(config: ServiceConfig) -> int:
+    """Blocking entry point for ``stfm-sim serve``."""
+    service = SimulationService(config)
+    asyncio.run(service.run())
+    return 0

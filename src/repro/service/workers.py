@@ -1,0 +1,155 @@
+"""Job execution: the worker pool and the spec → engine bridge.
+
+Workers are asyncio tasks; the simulation itself is synchronous Python,
+so each job runs on a thread-pool executor sized to the worker count —
+the event loop stays responsive for status queries and metric scrapes
+while simulations run.  Every execution builds its own
+:class:`~repro.engine.ExperimentRunner` but hands it the service's
+*shared* :class:`~repro.engine.ResultStore` instance, which is what
+deduplicates identical run-alone / run-shared sub-jobs across
+submitters — and whose hit/miss counters make that dedup visible in
+``/metrics``.
+
+Worker crashes are contained per job: any exception out of the engine
+(including :class:`~repro.engine.JobFailedError` from a crashed or
+timed-out simulation process) marks the job FAILED with the error
+message — it never takes the worker down or leaves the job hung.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import time
+from dataclasses import replace
+from typing import Callable
+
+from repro.engine import EngineOptions, engine_options
+from repro.engine.store import ResultStore
+from repro.experiments import run_experiment
+from repro.experiments.base import resolve_scale
+from repro.experiments.io import result_to_dict
+from repro.service.api import JobSpec, parse_spec, workload_result_to_dict
+from repro.sim.config import SystemConfig
+from repro.sim.runner import ExperimentRunner
+
+
+def execute_spec(
+    spec: "JobSpec | dict",
+    store: "ResultStore | None" = None,
+    engine_jobs: int = 1,
+) -> dict:
+    """Run one validated spec to its JSON result payload (blocking).
+
+    This is the single entry point the service's workers call — and the
+    function the end-to-end tests call directly to establish the
+    bit-identical baseline.
+    """
+    if isinstance(spec, dict):
+        spec = parse_spec(spec)
+    if spec.kind == "experiment":
+        scale = resolve_scale(spec.scale)
+        if spec.seed is not None:
+            scale = replace(scale, seed=spec.seed)
+        with engine_options(EngineOptions(jobs=engine_jobs, store=store)):
+            result = run_experiment(spec.experiment, scale=scale)
+        return {"kind": "experiment", **result_to_dict(result)}
+    normalized = spec.normalized()
+    config = SystemConfig(num_cores=normalized["num_cores"])
+    runner = ExperimentRunner(
+        config,
+        instruction_budget=spec.budget,
+        seed=normalized["seed"],
+        jobs=engine_jobs,
+        store=store,
+    )
+    result = runner.run_workload(
+        list(spec.benchmarks), spec.policy, spec.policy_kwargs or None
+    )
+    return {"kind": "workload", **workload_result_to_dict(result)}
+
+
+class WorkerPool:
+    """N asyncio workers draining the admission queue through a thread pool.
+
+    Args:
+        queue: The :class:`~repro.service.queue.AdmissionQueue` to drain.
+        run_job: Called (on the event loop) with a job id when a worker
+            picks it up; must return the blocking callable to execute.
+        on_done: Called (on the event loop) with
+            ``(job_id, result | None, error | None, wall_seconds)``.
+        count: Worker tasks (and thread-pool width).  0 is allowed —
+            nothing executes, which the backpressure tests rely on.
+    """
+
+    def __init__(
+        self,
+        queue,
+        run_job: "Callable[[str], Callable[[], dict]]",
+        on_done: "Callable[[str, dict | None, str | None, float], None]",
+        count: int = 2,
+    ) -> None:
+        if count < 0:
+            raise ValueError("worker count cannot be negative")
+        self.queue = queue
+        self.run_job = run_job
+        self.on_done = on_done
+        self.count = count
+        self.inflight: set[str] = set()
+        self._tasks: list[asyncio.Task] = []
+        self._executor: "concurrent.futures.ThreadPoolExecutor | None" = None
+
+    def start(self) -> None:
+        if self.count == 0:
+            return
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.count, thread_name_prefix="stfm-sim-worker"
+        )
+        self._tasks = [
+            asyncio.get_running_loop().create_task(
+                self._worker(), name=f"stfm-service-worker-{i}"
+            )
+            for i in range(self.count)
+        ]
+
+    async def _worker(self) -> None:
+        while True:
+            job_id = await self.queue.get()
+            try:
+                await self._run_one(job_id)
+            finally:
+                self.queue.task_done()
+
+    async def _run_one(self, job_id: str) -> None:
+        self.inflight.add(job_id)
+        started = time.perf_counter()
+        result = None
+        error = None
+        try:
+            work = self.run_job(job_id)
+            result = await asyncio.get_running_loop().run_in_executor(
+                self._executor, work
+            )
+        except asyncio.CancelledError:
+            self.inflight.discard(job_id)
+            raise
+        except BaseException as exc:  # a crash marks the job failed
+            error = f"{type(exc).__name__}: {exc}"
+        wall = time.perf_counter() - started
+        self.inflight.discard(job_id)
+        self.queue.observe(wall)
+        self.on_done(job_id, result, error, wall)
+
+    async def stop(self) -> None:
+        """Cancel idle workers and release the thread pool."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

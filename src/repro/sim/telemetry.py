@@ -53,6 +53,33 @@ class Telemetry:
     def cycles(self) -> list[int]:
         return [s.cycle for s in self.samples]
 
+    def counter_samples(
+        self, prefix: str = "stfm_sim"
+    ) -> list[tuple[str, dict, float]]:
+        """Final cumulative counters as ``(name, labels, value)`` samples.
+
+        The shape :mod:`repro.service.metrics` renders, so a recorded
+        run can be exported next to the service's own counters::
+
+            stfm_sim_instructions_total{thread="0"} 4000
+            stfm_sim_stall_cycles_total{thread="0"} 1212
+            stfm_sim_cycles_total 51250
+        """
+        if not self.samples:
+            return []
+        last = self.samples[-1]
+        samples: list[tuple[str, dict, float]] = []
+        for i, value in enumerate(last.instructions):
+            samples.append(
+                (f"{prefix}_instructions_total", {"thread": str(i)}, float(value))
+            )
+        for i, value in enumerate(last.stall_cycles):
+            samples.append(
+                (f"{prefix}_stall_cycles_total", {"thread": str(i)}, float(value))
+            )
+        samples.append((f"{prefix}_cycles_total", {}, float(last.cycle)))
+        return samples
+
 
 class TelemetrySampler:
     """Samples a system every ``period`` CPU cycles while it runs."""

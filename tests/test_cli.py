@@ -126,3 +126,78 @@ class TestCommands:
         assert main(["run", "fig1", "--scale", "tiny", "--no-cache"]) == 1
         err = capsys.readouterr().err
         assert "FAILED" in err and "fig1" in err
+
+
+class TestServiceParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.workers == 2
+        assert args.queue_limit == 32
+        assert args.engine_jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+        assert args.state_dir is None
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "fig3"])
+        assert args.experiment == "fig3"
+        assert args.workload is None
+        assert args.server == "http://127.0.0.1:8765"
+        assert args.scale == "small"
+        assert args.wait is False
+
+    def test_submit_workload_form(self):
+        args = build_parser().parse_args(
+            ["submit", "--workload", "mcf", "hmmer", "--policy", "stfm",
+             "--budget", "3000"]
+        )
+        assert args.workload == ["mcf", "hmmer"]
+        assert args.policy == "stfm"
+        assert args.budget == 3000
+
+    def test_status_and_cache_defaults(self):
+        args = build_parser().parse_args(["status"])
+        assert args.job_id is None
+        args = build_parser().parse_args(["cache"])
+        assert args.cache_dir is None
+        assert args.prune is False
+
+
+class TestServiceCommands:
+    def test_serve_rejects_zero_workers(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "at least one worker" in capsys.readouterr().err
+
+    def test_submit_requires_a_target(self):
+        with pytest.raises(SystemExit, match="experiment id or --workload"):
+            main(["submit"])
+
+    def test_submit_unreachable_server_exits_1(self, capsys):
+        assert main(["submit", "fig3", "--server", "http://127.0.0.1:1"]) == 1
+        assert "submit:" in capsys.readouterr().err
+
+    def test_status_unreachable_server_exits_1(self, capsys):
+        assert main(["status", "--server", "http://127.0.0.1:1"]) == 1
+        assert "status:" in capsys.readouterr().err
+
+    def test_cache_lists_and_prunes(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "fig1", "--scale", "tiny",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache]) == 0
+        listing = capsys.readouterr().out
+        assert cache in listing
+        assert "0 entries" not in listing
+        assert main(["cache", "--cache-dir", cache, "--prune"]) == 0
+        assert "pruned" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", cache]) == 0
+        assert "0 entries, 0 bytes" in capsys.readouterr().out
+
+    def test_cache_honours_env_default(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("STFM_SIM_CACHE_DIR", str(tmp_path / "envstore"))
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "envstore" in out and "0 entries" in out

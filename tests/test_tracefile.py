@@ -54,6 +54,36 @@ class TestRoundTrip:
         assert loaded.loop == original.loop
 
 
+class TestGzip:
+    def test_gz_round_trip(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.records == original.records
+        assert loaded.loop == original.loop
+
+    def test_gz_file_is_actually_compressed(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "trace.txt.gz"
+        save_trace(sample_trace(), path)
+        # Real gzip container, not plain text with a .gz name.
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert handle.readline().startswith("# repro-trace v1")
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_gz_and_plain_produce_identical_content(self, tmp_path):
+        import gzip
+
+        plain = tmp_path / "trace.txt"
+        compressed = tmp_path / "trace.txt.gz"
+        save_trace(sample_trace(), plain)
+        save_trace(sample_trace(), compressed)
+        with gzip.open(compressed, "rt", encoding="utf-8") as handle:
+            assert handle.read() == plain.read_text()
+
+
 class TestErrors:
     def test_missing_header(self, tmp_path):
         path = tmp_path / "bad.txt"
