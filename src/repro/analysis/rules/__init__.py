@@ -222,6 +222,7 @@ def all_rules() -> list[Rule]:
         IdKeyedContainerRule,
         SetIterationRule,
     )
+    from repro.analysis.rules.robustness import SilentExceptRule
 
     rules: list[Rule] = [
         WallClockRule(),
@@ -230,5 +231,6 @@ def all_rules() -> list[Rule]:
         IdKeyedContainerRule(),
         FloatEqualityRule(),
         MutableDefaultRule(),
+        SilentExceptRule(),
     ]
     return sorted(rules, key=lambda rule: rule.code)

@@ -1,0 +1,65 @@
+"""Robustness rules: faults must never be swallowed silently.
+
+The hardening layers (engine retry, store quarantine, service watchdog)
+all rely on failures being *observable* — counted, logged, or
+propagated.  A handler that catches ``Exception`` and does nothing is
+how cache corruption, lost writes, and dead workers hide until a sweep
+is already poisoned.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import ALL_DOMAINS, LintContext, Rule
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _names_broad_exception(node: "ast.expr | None") -> bool:
+    """Whether an ``except`` clause type catches Exception/BaseException."""
+    if node is None:  # bare ``except:``
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_names_broad_exception(elt) for elt in node.elts)
+    return False
+
+
+class SilentExceptRule(Rule):
+    """SIM007: broad ``except`` clauses must not silently ``pass``.
+
+    ``except Exception: pass`` (or bare ``except:``) discards the only
+    evidence of a fault.  Narrow the exception type (``except OSError:
+    pass`` for a genuinely-ignorable cleanup race is fine), or count /
+    log / re-raise.  The rare legitimate broad swallow — a worker's
+    last-ditch pipe-send guard — gets an inline
+    ``# simlint: disable=SIM007`` with a comment saying why.
+    """
+
+    code = "SIM007"
+    summary = "broad exception handler silently swallows the fault"
+    fixit = (
+        "narrow the exception type, or count/log/re-raise; suppress "
+        "inline only with a justification comment"
+    )
+    domains = ALL_DOMAINS
+
+    def check(self, ctx: LintContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _names_broad_exception(node.type):
+                continue
+            if all(isinstance(stmt, ast.Pass) for stmt in node.body):
+                caught = (
+                    ast.unparse(node.type) if node.type is not None else "—"
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'except {caught}: pass' silently swallows the fault"
+                    if node.type is not None
+                    else "bare 'except: pass' silently swallows the fault",
+                )

@@ -16,6 +16,7 @@ SIM003    no iteration over bare sets in scheduling/arbitration paths
 SIM004    no ``id()``-keyed state influencing decisions
 SIM005    no exact float equality on timing/slowdown quantities
 SIM006    no mutable default arguments
+SIM007    no broad ``except Exception: pass`` fault-swallowing
 ========  ==============================================================
 
 Findings can be suppressed per line with a trailing

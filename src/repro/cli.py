@@ -63,9 +63,32 @@ def _enable_sanitizer() -> None:
           "aborts the run)")
 
 
+def _enable_faults(spec_parts: "list[str]") -> int:
+    """Activate the deterministic fault-injection layer (``--inject``).
+
+    Same environment-toggle pattern as the sanitizer: inherits into
+    fork workers, never perturbs cache keys.  Returns an exit code
+    (nonzero on a malformed spec).
+    """
+    from repro import faults
+
+    spec = ",".join(spec_parts)
+    try:
+        plan = faults.install(spec)
+    except faults.FaultSpecError as exc:
+        print(f"--inject: {exc}", file=sys.stderr)
+        return 2
+    print(f"(fault injection enabled: {plan.describe()})")
+    return 0
+
+
 def _cmd_run(args) -> int:
     if args.sanitize:
         _enable_sanitizer()
+    if args.inject:
+        rc = _enable_faults(args.inject)
+        if rc:
+            return rc
     if args.experiment == "all":
         ids = list(EXPERIMENTS)
     elif args.experiment == "paper":
@@ -117,6 +140,10 @@ def _cmd_run(args) -> int:
 def _cmd_workload(args) -> int:
     if args.sanitize:
         _enable_sanitizer()
+    if args.inject:
+        rc = _enable_faults(args.inject)
+        if rc:
+            return rc
     config = SystemConfig(num_cores=max(len(args.benchmarks), 2))
     runner = ExperimentRunner(config, instruction_budget=args.budget)
     policies = args.policy or available_policies()
@@ -172,6 +199,10 @@ def _cmd_serve(args) -> int:
     if args.workers < 1:
         print("serve: need at least one worker", file=sys.stderr)
         return 2
+    if args.inject:
+        rc = _enable_faults(args.inject)
+        if rc:
+            return rc
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     state_dir = args.state_dir or os.path.join(
         args.cache_dir or default_cache_dir(), "service"
@@ -184,6 +215,7 @@ def _cmd_serve(args) -> int:
         engine_jobs=args.engine_jobs,
         cache_dir=cache_dir,
         state_dir=state_dir,
+        job_timeout=args.job_timeout,
     )
     return serve(config)
 
@@ -344,6 +376,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate every DRAM command against DDR2 timing "
         "(repro.analysis.protocol); violations abort the run",
     )
+    run_parser.add_argument(
+        "--inject", nargs="+", metavar="SITE=RATE", default=None,
+        help="deterministic fault injection (repro.faults), e.g. "
+        "--inject crash=0.2,corrupt=0.1 seed=7",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     wl_parser = sub.add_parser("workload", help="run an ad-hoc workload")
@@ -355,6 +392,10 @@ def build_parser() -> argparse.ArgumentParser:
     wl_parser.add_argument(
         "--sanitize", action="store_true",
         help="validate every DRAM command against DDR2 timing",
+    )
+    wl_parser.add_argument(
+        "--inject", nargs="+", metavar="SITE=RATE", default=None,
+        help="deterministic fault injection (repro.faults)",
     )
     wl_parser.set_defaults(func=_cmd_workload)
 
@@ -415,6 +456,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--state-dir", metavar="PATH", default=None,
         help="job-state directory (default: <cache-dir>/service)",
+    )
+    serve_parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job watchdog deadline; a job past it is FAILED "
+        "(default: no deadline)",
+    )
+    serve_parser.add_argument(
+        "--inject", nargs="+", metavar="SITE=RATE", default=None,
+        help="deterministic fault injection (repro.faults)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

@@ -13,6 +13,19 @@ without a result on the pipe) robust — a crashed pool worker cannot hang
 the queue, it just costs one bounded retry.  Worker *exceptions* are
 deterministic simulation bugs and fail fast instead of retrying.
 
+Hardening (exercised by :mod:`repro.faults` under ``--inject``):
+
+* retry attempts are spaced by exponential backoff with deterministic
+  jitter, so a struggling machine is not hammered in lockstep;
+* reaping escalates SIGTERM → SIGKILL for workers that ignore
+  ``terminate()``, so a wedged worker can never hang the batch;
+* when process *spawning* itself fails repeatedly (fd/PID exhaustion),
+  the executor degrades gracefully to in-process serial execution;
+* when fault injection is active and a job burns its whole retry
+  budget on crashes/timeouts, one final "clean-room" attempt runs with
+  injection disabled — injected chaos can delay a sweep but never
+  fail it, while a genuinely crashing job still fails the batch.
+
 Results travel back over a pipe as JSON-serializable payloads, so the
 parallel path returns exactly what the serial path computes.
 """
@@ -20,14 +33,26 @@ parallel path returns exactly what the serial path computes.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import random
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable
 
+from repro import faults
 from repro.engine.jobs import execute_job
 from repro.engine.store import ResultStore
+
+#: Exit status of a worker killed by an injected crash (tests assert it).
+INJECTED_CRASH_EXIT = 73
+
+#: Seconds to wait for a terminated worker before escalating to kill().
+_REAP_GRACE = 5.0
+
+#: Consecutive process-spawn failures before degrading to serial.
+_SPAWN_FAILURE_LIMIT = 3
 
 
 class JobFailedError(RuntimeError):
@@ -49,6 +74,7 @@ class EngineReport:
     hits_disk: int = 0
     jobs_failed: int = 0
     retries: int = 0
+    fallbacks: int = 0
     wall_time: float = 0.0
     sim_time: float = 0.0
 
@@ -69,6 +95,7 @@ class EngineReport:
         self.hits_disk += other.hits_disk
         self.jobs_failed += other.jobs_failed
         self.retries += other.retries
+        self.fallbacks += other.fallbacks
         self.wall_time += other.wall_time
         self.sim_time += other.sim_time
 
@@ -83,6 +110,7 @@ class EngineReport:
             hits_disk=self.hits_disk - earlier.hits_disk,
             jobs_failed=self.jobs_failed - earlier.jobs_failed,
             retries=self.retries - earlier.retries,
+            fallbacks=self.fallbacks - earlier.fallbacks,
             wall_time=self.wall_time - earlier.wall_time,
             sim_time=self.sim_time - earlier.sim_time,
         )
@@ -95,6 +123,8 @@ class EngineReport:
         ]
         if self.retries:
             parts.append(f"{self.retries} retried")
+        if self.fallbacks:
+            parts.append(f"{self.fallbacks} fallback(s)")
         if self.jobs_failed:
             parts.append(f"{self.jobs_failed} FAILED")
         parts.append(
@@ -121,15 +151,26 @@ def reset_session_report() -> None:
     _SESSION = EngineReport()
 
 
-def _worker_main(job, conn) -> None:
+def _worker_main(job, conn, attempt: int = 1, inject: bool = True) -> None:
     try:
+        if inject:
+            key = f"{job.cache_key()}:{attempt}"
+            if faults.fires("crash", key):
+                conn.close()
+                os._exit(INJECTED_CRASH_EXIT)
+            if faults.fires("hang", key):
+                time.sleep(faults.HANG_SECONDS)
+        else:
+            # Clean-room fallback attempt: strip the injection toggle so
+            # a fault-induced retry storm cannot fail the batch.
+            os.environ.pop(faults.FAULTS_ENV, None)
         started = time.perf_counter()
         payload = execute_job(job)
         conn.send(("ok", payload, time.perf_counter() - started))
     except BaseException as exc:  # report, never propagate out of a worker
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}", 0.0))
-        except Exception:
+        except Exception:  # simlint: disable=SIM007
             pass
     finally:
         conn.close()
@@ -141,6 +182,18 @@ class _Running:
     conn: Any
     job: Any
     started: float
+    attempt: int = 1
+    inject: bool = True
+
+
+@dataclass
+class _Pending:
+    """A job waiting for a worker slot (possibly backing off)."""
+
+    key: str
+    job: Any
+    not_before: float = 0.0  # perf_counter() timestamp
+    clean: bool = False  # run the next attempt with injection disabled
 
 
 class JobExecutor:
@@ -152,6 +205,9 @@ class JobExecutor:
         timeout: Per-job wall-clock limit in seconds (parallel mode
             only — the serial path cannot interrupt a job).
         retries: Extra attempts after a worker crash or timeout.
+        backoff: Base delay (seconds) between retry attempts; attempt
+            *n* waits ``backoff * 2^(n-1)``, scaled by a deterministic
+            jitter in [0.5, 1.5) and capped at ``backoff_cap``.
         progress: Optional callable receiving one line per finished job.
     """
 
@@ -161,18 +217,24 @@ class JobExecutor:
         store: "ResultStore | str | None" = None,
         timeout: "float | None" = None,
         retries: int = 1,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
         progress: "Callable[[str], None] | None" = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("need at least one worker")
         if retries < 0:
             raise ValueError("retries cannot be negative")
+        if backoff < 0:
+            raise ValueError("backoff cannot be negative")
         self.jobs = jobs
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
         self.timeout = timeout
         self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
         self.progress = progress
         self.memory: dict[str, dict] = {}
         self.report = EngineReport()
@@ -226,22 +288,26 @@ class JobExecutor:
         return payloads
 
     # -- serial path --------------------------------------------------------
+    def _run_inline(self, job, batch: EngineReport) -> dict:
+        """Execute one job in this process, with report bookkeeping."""
+        started = time.perf_counter()
+        try:
+            payload = execute_job(job)
+        except Exception as exc:
+            batch.jobs_failed += 1
+            raise JobFailedError(
+                job, f"{type(exc).__name__}: {exc}"
+            ) from exc
+        batch.sim_time += time.perf_counter() - started
+        batch.jobs_run += 1
+        return payload
+
     def _run_serial(
         self, to_run: list[tuple[str, Any]], batch: EngineReport
     ) -> dict[str, dict]:
         results: dict[str, dict] = {}
         for key, job in to_run:
-            started = time.perf_counter()
-            try:
-                payload = execute_job(job)
-            except Exception as exc:
-                batch.jobs_failed += 1
-                raise JobFailedError(
-                    job, f"{type(exc).__name__}: {exc}"
-                ) from exc
-            batch.sim_time += time.perf_counter() - started
-            batch.jobs_run += 1
-            results[key] = payload
+            results[key] = self._run_inline(job, batch)
             self._note(job, "done", batch)
         return results
 
@@ -250,18 +316,46 @@ class JobExecutor:
         self, to_run: list[tuple[str, Any]], batch: EngineReport
     ) -> dict[str, dict]:
         ctx = self._context()
-        pending = deque(to_run)
+        pending = deque(_Pending(key, job) for key, job in to_run)
         attempts: dict[str, int] = {}
         running: dict[str, _Running] = {}
         results: dict[str, dict] = {}
-        failure: JobFailedError | None = None
+        failure: "JobFailedError | None" = None
+        spawn_failures = 0
+        degraded = False
 
         try:
             while (pending or running) and failure is None:
                 while pending and len(running) < self.jobs:
-                    key, job = pending.popleft()
-                    attempts[key] = attempts.get(key, 0) + 1
-                    running[key] = self._spawn(ctx, job)
+                    entry = self._next_eligible(pending)
+                    if entry is None:
+                        break
+                    if degraded:
+                        results[entry.key] = self._run_inline(
+                            entry.job, batch
+                        )
+                        self._note(entry.job, "done (degraded)", batch)
+                        continue
+                    attempts[entry.key] = attempts.get(entry.key, 0) + 1
+                    try:
+                        running[entry.key] = self._spawn(
+                            ctx, entry.job, attempts[entry.key],
+                            inject=not entry.clean,
+                        )
+                    except OSError as exc:
+                        spawn_failures += 1
+                        attempts[entry.key] -= 1
+                        pending.appendleft(entry)
+                        if spawn_failures >= _SPAWN_FAILURE_LIMIT:
+                            degraded = True
+                            self._note(
+                                entry.job,
+                                f"worker spawn failing ({exc}); "
+                                "degrading to serial execution",
+                                batch,
+                            )
+                        break
+                    spawn_failures = 0
                 progressed = False
                 for key in list(running):
                     state = running[key]
@@ -286,7 +380,22 @@ class JobExecutor:
                     elif attempts[key] <= self.retries:
                         batch.retries += 1
                         self._note(state.job, f"retrying ({value})", batch)
-                        pending.append((key, state.job))
+                        pending.append(
+                            self._backed_off(key, state.job, attempts[key])
+                        )
+                    elif faults.active_plan() is not None and state.inject:
+                        # Retry budget burned under fault injection: one
+                        # final attempt with injection disabled, so chaos
+                        # can delay a sweep but never fail it.
+                        batch.fallbacks += 1
+                        self._note(
+                            state.job, f"clean-room fallback ({value})", batch
+                        )
+                        pending.append(
+                            self._backed_off(
+                                key, state.job, attempts[key], clean=True
+                            )
+                        )
                     else:
                         batch.jobs_failed += 1
                         failure = JobFailedError(state.job, value)
@@ -301,6 +410,29 @@ class JobExecutor:
             raise failure
         return results
 
+    def _next_eligible(self, pending: "deque[_Pending]") -> "_Pending | None":
+        """Pop the first pending job whose backoff window has passed."""
+        now = time.perf_counter()
+        for _ in range(len(pending)):
+            if pending[0].not_before <= now:
+                return pending.popleft()
+            pending.rotate(-1)
+        return None
+
+    def _backed_off(
+        self, key: str, job, attempt: int, clean: bool = False
+    ) -> _Pending:
+        """Requeue entry with exponential backoff + deterministic jitter."""
+        exponent = max(0, attempt - 1)
+        delay = self.backoff * (2 ** exponent)
+        # Deterministic jitter in [0.5, 1.5): a pure function of the
+        # (key, attempt) pair, so replayed runs pace identically.
+        jitter = 0.5 + random.Random(f"{key}:{exponent}:backoff").random()
+        delay = min(delay * jitter, self.backoff_cap)
+        return _Pending(
+            key, job, not_before=time.perf_counter() + delay, clean=clean
+        )
+
     @staticmethod
     def _context():
         # fork is both the cheapest start method and the one that lets
@@ -310,18 +442,28 @@ class JobExecutor:
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
-    def _spawn(self, ctx, job) -> _Running:
+    def _spawn(self, ctx, job, attempt: int = 1, inject: bool = True) -> _Running:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
-            target=_worker_main, args=(job, child_conn), daemon=True
+            target=_worker_main,
+            args=(job, child_conn, attempt, inject),
+            daemon=True,
         )
         proc.start()
         child_conn.close()
-        return _Running(proc, parent_conn, job, time.perf_counter())
+        return _Running(
+            proc, parent_conn, job, time.perf_counter(),
+            attempt=attempt, inject=inject,
+        )
 
     def _poll(self, state: _Running):
         """One look at a worker: result tuple, crash/timeout tuple, or
         None while it is still running."""
+        if state.inject and faults.fires(
+            "timeout", f"{state.job.cache_key()}:{state.attempt}"
+        ):
+            state.proc.terminate()
+            return ("timeout", "injected timeout", 0.0)
         if state.conn.poll(0):
             return self._recv(state)
         if not state.proc.is_alive():
@@ -354,8 +496,17 @@ class JobExecutor:
 
     @staticmethod
     def _reap(state: _Running) -> None:
+        """Join a finished/terminated worker, escalating to SIGKILL.
+
+        ``terminate()`` sends SIGTERM, which a worker stuck in native
+        code — or one that installed a SIGTERM handler — can ignore; a
+        bounded join followed by ``kill()`` guarantees the reap returns.
+        """
         state.conn.close()
-        state.proc.join()
+        state.proc.join(_REAP_GRACE)
+        if state.proc.is_alive():
+            state.proc.kill()
+            state.proc.join(_REAP_GRACE)
 
     def _note(self, job, status: str, batch: EngineReport) -> None:
         if self.progress is not None:

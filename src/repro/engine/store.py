@@ -9,18 +9,41 @@ poisoning an old one.
 
 Entries are small JSON files sharded by hash prefix, written atomically
 (tmp + rename) so concurrent engine processes sharing one cache
-directory never observe a torn entry.  Corrupt or unreadable entries are
-treated as misses and re-simulated.
+directory never observe a torn entry.  Integrity is verified end to
+end: every entry carries a SHA-256 checksum of its payload, written on
+``put`` and checked on ``get`` — a corrupt entry (torn JSON, bit rot,
+a checksum mismatch, a missing ``payload``) counts as a miss and is
+*quarantined* to ``<root>/quarantine/`` rather than deleted, so the
+evidence survives for inspection while the job simply re-simulates.
+
+Writes are best-effort: a ``put`` that fails with ``OSError`` (disk
+full, read-only mount, I/O error) is counted and logged, never raised —
+a full disk must not discard a simulation that already succeeded.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
 import tempfile
 import threading
 from dataclasses import dataclass
 from pathlib import Path
+
+from repro import faults
+
+_log = logging.getLogger("repro.engine.store")
+
+#: Subdirectory of the store root where corrupt entries are preserved.
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_checksum(payload: dict) -> str:
+    """Canonical SHA-256 of a payload (key-order independent)."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -37,8 +60,9 @@ class ResultStore:
     One store instance may be shared by concurrent consumers (the
     simulation service hands the same object to every worker thread):
     reads and writes go straight to the filesystem, and the ``hits`` /
-    ``misses`` counters are updated under a lock so cross-client cache
-    behaviour can be observed accurately.
+    ``misses`` / ``quarantined`` / ``put_errors`` counters are updated
+    under a lock so cross-client cache behaviour can be observed
+    accurately.
     """
 
     def __init__(self, root: "str | Path") -> None:
@@ -46,6 +70,8 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.put_errors = 0
         self._lock = threading.Lock()
 
     def _path(self, cache_key: str) -> Path:
@@ -58,27 +84,66 @@ class ResultStore:
             else:
                 self.misses += 1
 
-    def get(self, cache_key: str) -> dict | None:
-        """Payload for a key, or None on miss (or corrupt entry)."""
+    def _quarantine(self, path: Path, cache_key: str, reason: str) -> None:
+        """Move a corrupt entry aside (fall back to deleting it) so the
+        next ``get`` is a clean miss instead of a repeated parse error."""
+        target = self.root / QUARANTINE_DIR / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # already gone (concurrent reader quarantined it)
+        with self._lock:
+            self.quarantined += 1
+        _log.warning(
+            "quarantined corrupt store entry %s (%s): %s",
+            cache_key[:12], reason, target,
+        )
+
+    def get(self, cache_key: str) -> "dict | None":
+        """Payload for a key, or None on miss.
+
+        A corrupt entry — unparseable JSON, a missing ``payload``, or a
+        payload that no longer matches its recorded checksum — is
+        quarantined and reported as a miss.
+        """
         path = self._path(cache_key)
         try:
-            with path.open() as handle:
-                entry = json.load(handle)
-            payload = entry["payload"]
+            raw = path.read_bytes()
         except FileNotFoundError:
             self._count(hit=False)
             return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            self._count(hit=False)
+            return None
+        if faults.fires("corrupt", cache_key):
+            raw = raw[: len(raw) // 2]  # a torn write, deterministically
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+            payload = entry["payload"]
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            self._quarantine(path, cache_key, f"{type(exc).__name__}: {exc}")
+            self._count(hit=False)
+            return None
+        recorded = entry.get("sha256")
+        if recorded is not None and recorded != payload_checksum(payload):
+            self._quarantine(path, cache_key, "payload checksum mismatch")
             self._count(hit=False)
             return None
         self._count(hit=True)
         return payload
 
     def stats(self) -> StoreStats:
-        """Entry count and total payload bytes currently on disk."""
+        """Entry count and total payload bytes currently on disk
+        (quarantined entries excluded)."""
         entries = 0
         total = 0
         for path in self.root.glob("*/*.json"):
+            if path.parent.name == QUARANTINE_DIR:
+                continue
             try:
                 total += path.stat().st_size
             except OSError:
@@ -87,7 +152,8 @@ class ResultStore:
         return StoreStats(entries=entries, total_bytes=total)
 
     def prune(self) -> StoreStats:
-        """Delete every entry; returns what was removed."""
+        """Delete every entry (quarantined ones too); returns what was
+        removed."""
         removed = 0
         freed = 0
         for path in self.root.glob("*/*.json"):
@@ -107,27 +173,63 @@ class ResultStore:
         return StoreStats(entries=removed, total_bytes=freed)
 
     def put(self, cache_key: str, payload: dict, describe: str = "",
-            kind: str = "") -> None:
-        """Atomically persist a payload under its key."""
+            kind: str = "") -> bool:
+        """Atomically persist a payload under its key (best-effort).
+
+        Returns True when the entry landed on disk.  An ``OSError``
+        (disk full, read-only directory, I/O error) is downgraded to a
+        counted warning — by the time ``put`` runs the simulation has
+        already succeeded, and losing the *cache* entry must not fail
+        the batch.  Non-I/O errors (an unserializable payload) still
+        propagate: those are bugs.
+        """
         path = self._path(cache_key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"kind": kind, "describe": describe, "payload": payload}
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
+        entry = {
+            "kind": kind,
+            "describe": describe,
+            "sha256": payload_checksum(payload),
+            "payload": payload,
+        }
+        tmp = None
         try:
+            if faults.fires("write", cache_key):
+                raise OSError(28, "injected ENOSPC")  # errno.ENOSPC
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
             with os.fdopen(fd, "w") as handle:
                 json.dump(entry, handle)
             os.replace(tmp, path)
+            tmp = None
+        except OSError as exc:
+            self._discard_tmp(tmp)
+            with self._lock:
+                self.put_errors += 1
+            _log.warning(
+                "best-effort store put failed for %s (%s): %s",
+                cache_key[:12], describe or kind or "entry", exc,
+            )
+            return False
         except BaseException:
+            self._discard_tmp(tmp)
+            raise
+        return True
+
+    @staticmethod
+    def _discard_tmp(tmp: "str | None") -> None:
+        if tmp is not None:
             try:
                 os.unlink(tmp)
             except OSError:
-                pass
-            raise
+                pass  # never existed, or raced with cleanup
 
     def __contains__(self, cache_key: str) -> bool:
         return self._path(cache_key).exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1
+            for path in self.root.glob("*/*.json")
+            if path.parent.name != QUARANTINE_DIR
+        )

@@ -9,6 +9,11 @@ speaks ``Connection: close``.  Used by the ``stfm-sim submit`` /
                          "scale": "tiny"})
     done = client.wait(job["id"])
     print(done["result"]["rows"])
+
+The client is hardened for flaky transport: idempotent GETs are retried
+with exponential backoff on connection errors, and 429 responses are
+retried honoring the server's ``Retry-After`` — both bounded by the
+``retries`` budget, after which the original error propagates.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ import http.client
 import json
 import time
 import urllib.parse
+
+from repro import faults
 
 
 class ServiceError(RuntimeError):
@@ -36,29 +43,44 @@ class BackpressureError(ServiceError):
         self.retry_after = retry_after
 
 
+class _InjectedDrop(ConnectionError):
+    """A ``drop``-site fault: the connection 'failed' before sending."""
+
+
 class ServiceClient:
-    """Talks to one service instance at ``base_url``."""
+    """Talks to one service instance at ``base_url``.
+
+    Args:
+        base_url: ``http://host:port`` of the service.
+        timeout: Socket timeout per request, seconds.
+        retries: Extra attempts for retriable failures — connection
+            errors on idempotent GETs, and 429 backpressure responses.
+        backoff: Base delay between connection-error retries; attempt
+            *n* waits ``backoff * 2^(n-1)`` seconds.
+    """
 
     def __init__(
-        self, base_url: str = "http://127.0.0.1:8765", timeout: float = 60.0
+        self,
+        base_url: str = "http://127.0.0.1:8765",
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff: float = 0.2,
     ) -> None:
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme not in ("http", ""):
             raise ValueError("only http:// service URLs are supported")
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
         self.host = parsed.hostname or "127.0.0.1"
         self.port = parsed.port or 8765
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # -- low-level ----------------------------------------------------------
-    def request(
+    def _request_once(
         self, method: str, path: str, body: "dict | None" = None
     ) -> tuple[int, dict, "dict | str"]:
-        """One round trip → (status, headers, decoded body).
-
-        JSON bodies decode to dicts; anything else (``/metrics``) comes
-        back as text.  No status is raised here — the typed helpers
-        below do that.
-        """
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -81,8 +103,42 @@ class ServiceClient:
         finally:
             conn.close()
 
+    def request(
+        self, method: str, path: str, body: "dict | None" = None
+    ) -> tuple[int, dict, "dict | str"]:
+        """One logical round trip → (status, headers, decoded body).
+
+        JSON bodies decode to dicts; anything else (``/metrics``) comes
+        back as text.  No status is raised here — the typed helpers
+        below do that.  Connection errors are retried (with exponential
+        backoff) only for GETs, which are idempotent; a dropped POST
+        may already have been admitted, so it propagates immediately.
+        An injected ``drop`` fault fires *before* the bytes leave, so
+        it is safely retriable for any method.
+        """
+        for attempt in range(1, self.retries + 2):
+            try:
+                if faults.fires("drop", f"{method} {path} #{attempt}"):
+                    raise _InjectedDrop("injected connection drop")
+                return self._request_once(method, path, body)
+            except _InjectedDrop:
+                if attempt > self.retries:
+                    raise ConnectionError(
+                        "injected connection drop (retries exhausted)"
+                    ) from None
+            except OSError:
+                if method != "GET" or attempt > self.retries:
+                    raise
+            time.sleep(self.backoff * (2 ** (attempt - 1)))
+        raise AssertionError("unreachable")  # loop always returns or raises
+
     def _checked(self, method: str, path: str, body=None, ok=(200, 202)):
-        status, headers, decoded = self.request(method, path, body)
+        for attempt in range(1, self.retries + 2):
+            status, headers, decoded = self.request(method, path, body)
+            if status != 429 or attempt > self.retries:
+                break
+            retry_after = int(headers.get("retry-after", "1"))
+            time.sleep(min(max(retry_after, 0), 5.0))
         if status in ok:
             return status, headers, decoded
         message = (

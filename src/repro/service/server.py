@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 
+from repro import faults
 from repro.engine import session_report
 from repro.engine.store import ResultStore
 from repro.service import state as jobstate
@@ -60,6 +61,7 @@ class ServiceConfig:
     engine_jobs: int = 1  # simulation processes per running job
     cache_dir: "str | None" = None  # None disables the shared store
     state_dir: str = "stfm-service-state"
+    job_timeout: "float | None" = None  # watchdog deadline per job, seconds
 
 
 class SimulationService:
@@ -80,6 +82,7 @@ class SimulationService:
             run_job=self._work_for,
             on_done=self._job_done,
             count=config.workers,
+            job_timeout=config.job_timeout,
         )
         self.draining = False
         self._stop_requested = asyncio.Event()
@@ -142,6 +145,36 @@ class SimulationService:
             "stfm_engine_cache_hits_total",
             "Engine cache hits (memory + disk) in this process.",
             read=lambda: session_report().hits,
+        )
+        m.gauge(
+            "stfm_engine_retries_total",
+            "Worker crash/timeout retries by this process's engine.",
+            read=lambda: session_report().retries,
+        )
+        m.gauge(
+            "stfm_engine_fallbacks_total",
+            "Clean-room fallback attempts after fault-exhausted retries.",
+            read=lambda: session_report().fallbacks,
+        )
+        m.gauge(
+            "stfm_store_quarantined_total",
+            "Corrupt result-store entries quarantined on read.",
+            read=lambda: self.store.quarantined if self.store else 0,
+        )
+        m.gauge(
+            "stfm_store_put_errors_total",
+            "Best-effort result-store writes that failed (disk full, EIO).",
+            read=lambda: self.store.put_errors if self.store else 0,
+        )
+        m.gauge(
+            "stfm_service_watchdog_timeouts_total",
+            "Jobs failed by the per-job deadline watchdog.",
+            read=lambda: self.pool.watchdog_timeouts,
+        )
+        m.gauge(
+            "stfm_faults_injected_total",
+            "Faults fired by the STFM_SIM_FAULTS injection layer.",
+            read=faults.injected_total,
         )
 
     # -- lifecycle ----------------------------------------------------------

@@ -13,7 +13,11 @@ submitters — and whose hit/miss counters make that dedup visible in
 Worker crashes are contained per job: any exception out of the engine
 (including :class:`~repro.engine.JobFailedError` from a crashed or
 timed-out simulation process) marks the job FAILED with the error
-message — it never takes the worker down or leaves the job hung.
+message — it never takes the worker down or leaves the job hung.  A
+per-job deadline watchdog (``job_timeout``) closes the remaining gap: a
+job whose thread stops making progress transitions to FAILED with a
+``watchdog:`` reason instead of sitting RUNNING forever, and the worker
+moves on to the next job.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import time
 from dataclasses import replace
 from typing import Callable
 
+from repro import faults
 from repro.engine import EngineOptions, engine_options
 from repro.engine.store import ResultStore
 from repro.experiments import run_experiment
@@ -80,6 +85,12 @@ class WorkerPool:
             ``(job_id, result | None, error | None, wall_seconds)``.
         count: Worker tasks (and thread-pool width).  0 is allowed —
             nothing executes, which the backpressure tests rely on.
+        job_timeout: Per-job wall-clock deadline in seconds; None (the
+            default) disables the watchdog.  A job past its deadline is
+            marked FAILED (``watchdog: ...``) and abandoned — threads
+            cannot be killed, so its thread keeps running until the
+            engine's own per-process timeouts fire, but the worker slot
+            is freed and any late result is discarded.
     """
 
     def __init__(
@@ -88,13 +99,18 @@ class WorkerPool:
         run_job: "Callable[[str], Callable[[], dict]]",
         on_done: "Callable[[str, dict | None, str | None, float], None]",
         count: int = 2,
+        job_timeout: "float | None" = None,
     ) -> None:
         if count < 0:
             raise ValueError("worker count cannot be negative")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive")
         self.queue = queue
         self.run_job = run_job
         self.on_done = on_done
         self.count = count
+        self.job_timeout = job_timeout
+        self.watchdog_timeouts = 0
         self.inflight: set[str] = set()
         self._tasks: list[asyncio.Task] = []
         self._executor: "concurrent.futures.ThreadPoolExecutor | None" = None
@@ -127,9 +143,30 @@ class WorkerPool:
         error = None
         try:
             work = self.run_job(job_id)
-            result = await asyncio.get_running_loop().run_in_executor(
+            if faults.fires("service", job_id):
+                raise RuntimeError("injected service worker fault")
+            future = asyncio.get_running_loop().run_in_executor(
                 self._executor, work
             )
+            if self.job_timeout is not None:
+                try:
+                    result = await asyncio.wait_for(
+                        asyncio.shield(future), self.job_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self.watchdog_timeouts += 1
+                    error = (
+                        f"watchdog: job exceeded {self.job_timeout:g}s "
+                        "deadline"
+                    )
+                    # The thread cannot be killed; discard whatever it
+                    # eventually produces (result or exception) so the
+                    # orphan never logs "exception was never retrieved".
+                    future.add_done_callback(
+                        lambda f: f.cancelled() or f.exception()
+                    )
+            else:
+                result = await future
         except asyncio.CancelledError:
             self.inflight.discard(job_id)
             raise

@@ -38,6 +38,7 @@ class TestRegistry:
     def test_stable_codes(self):
         assert [rule.code for rule in all_rules()] == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+            "SIM007",
         ]
 
     def test_every_rule_has_fixit_and_summary(self):
@@ -214,6 +215,42 @@ class TestMutableDefault:
 
     def test_none_default_is_clean(self):
         assert lint("def f(x=None):\n    return x\n") == []
+
+
+class TestSilentExcept:
+    def test_broad_pass_fires_everywhere(self):
+        source = """
+        try:
+            risky()
+        except Exception:
+            pass
+        """
+        assert codes(lint(source, path=ENGINE)) == ["SIM007"]
+        assert codes(lint(source, path="src/repro/service/ex.py")) == [
+            "SIM007"
+        ]
+
+    def test_bare_except_and_tuple_fire(self):
+        assert codes(lint("try:\n    f()\nexcept:\n    pass\n")) == ["SIM007"]
+        assert codes(
+            lint("try:\n    f()\nexcept (OSError, BaseException):\n    pass\n")
+        ) == ["SIM007"]
+
+    def test_narrow_or_handled_is_clean(self):
+        assert lint("try:\n    f()\nexcept OSError:\n    pass\n") == []
+        assert (
+            lint("try:\n    f()\nexcept Exception as exc:\n    log(exc)\n")
+            == []
+        )
+
+    def test_inline_suppression(self):
+        source = """
+        try:
+            send()
+        except Exception:  # simlint: disable=SIM007
+            pass
+        """
+        assert lint(source, path=ENGINE) == []
 
 
 class TestSuppression:
