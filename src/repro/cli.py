@@ -20,6 +20,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 import time
@@ -82,6 +83,31 @@ def _enable_faults(spec_parts: "list[str]") -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _maybe_profile(path: "str | None"):
+    """``--profile``: wrap the simulation in cProfile, dump to ``path``.
+
+    Stats are written as text, sorted by cumulative time, so the next
+    hot spot is discoverable without ad-hoc scripts.
+    """
+    if not path:
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        with open(path, "w") as handle:
+            stats = pstats.Stats(profile, stream=handle)
+            stats.sort_stats("cumulative").print_stats()
+        print(f"(profile written to {path}, sorted by cumulative time)")
+
+
 def _cmd_run(args) -> int:
     if args.sanitize:
         _enable_sanitizer()
@@ -102,7 +128,7 @@ def _cmd_run(args) -> int:
     options = EngineOptions(jobs=args.jobs, cache_dir=cache_dir)
     results = []
     failures = []
-    with engine_options(options):
+    with _maybe_profile(args.profile), engine_options(options):
         for experiment_id in ids:
             started = time.time()
             engine_before = session_report().snapshot()
@@ -148,13 +174,14 @@ def _cmd_workload(args) -> int:
     runner = ExperimentRunner(config, instruction_budget=args.budget)
     policies = args.policy or available_policies()
     rows = []
-    for policy in policies:
-        result = runner.run_workload(args.benchmarks, policy)
-        rows.append(
-            [result.policy, result.unfairness, result.weighted_speedup,
-             result.hmean_speedup]
-            + [t.slowdown for t in result.threads]
-        )
+    with _maybe_profile(args.profile):
+        for policy in policies:
+            result = runner.run_workload(args.benchmarks, policy)
+            rows.append(
+                [result.policy, result.unfairness, result.weighted_speedup,
+                 result.hmean_speedup]
+                + [t.slowdown for t in result.threads]
+            )
     print(
         format_table(
             ["policy", "unfairness", "w-speedup", "hmean"] + args.benchmarks,
@@ -320,6 +347,21 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import BENCH_SEQUENCE, REGRESSION_THRESHOLD, run_bench
+
+    output = args.output or f"BENCH_{BENCH_SEQUENCE}.json"
+    threshold = (
+        args.threshold if args.threshold is not None else REGRESSION_THRESHOLD
+    )
+    return run_bench(
+        output=output,
+        quick=args.quick,
+        check=args.check,
+        threshold=threshold,
+    )
+
+
 def _cmd_benchmarks(_args) -> int:
     print(
         format_table(
@@ -381,6 +423,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection (repro.faults), e.g. "
         "--inject crash=0.2,corrupt=0.1 seed=7",
     )
+    run_parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="profile the run with cProfile; write cumulative-sorted "
+        "stats to PATH",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     wl_parser = sub.add_parser("workload", help="run an ad-hoc workload")
@@ -397,11 +444,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject", nargs="+", metavar="SITE=RATE", default=None,
         help="deterministic fault injection (repro.faults)",
     )
+    wl_parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="profile the run with cProfile; write cumulative-sorted "
+        "stats to PATH",
+    )
     wl_parser.set_defaults(func=_cmd_workload)
 
     sub.add_parser("benchmarks", help="show the Table 3 registry").set_defaults(
         func=_cmd_benchmarks
     )
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the pinned performance suite and write a "
+        "BENCH_<n>.json trajectory snapshot (see repro.bench)"
+    )
+    bench_parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="snapshot path (default: BENCH_<sequence>.json in the "
+        "current directory)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: tiny scales, no 1M-budget / engine / "
+        "service probes",
+    )
+    bench_parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the event kernel is slower than naive or a "
+        "metric regressed past the threshold",
+    )
+    bench_parser.add_argument(
+        "--threshold", type=float, default=None, metavar="RATIO",
+        help="normalized-slowdown regression threshold (default 1.30)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     lint_parser = sub.add_parser(
         "lint", help="run simlint, the static simulator-invariant "

@@ -28,6 +28,46 @@ from repro.dram.commands import CommandCandidate, CommandKind
 from repro.dram.timing import DramTiming
 from repro.schedulers.base import SchedulingPolicy
 
+#: Sentinel "no future state change" time for the candidate caches.
+_NEVER = 1 << 62
+
+
+class _BankCandidateCache:
+    """Per-channel cache of bank-ready candidate lists (event kernel).
+
+    Between two state changes of a bank (enqueue into its queue, command
+    issued to it, refresh), the set of bank-ready candidates the naive
+    scan would build is a pure function of time with known breakpoints:
+
+    * a busy bank contributes nothing until ``busy_until``;
+    * a free, precharged bank offers one ACTIVATE per queued request,
+      forever (until an external event);
+    * a free bank with an open row offers column accesses for row hits
+      immediately and PRECHARGEs for conflicts once ``tRAS`` is
+      satisfied (``activated_at + tRAS``).
+
+    ``expires[b]`` stores the earliest such breakpoint; a cached list is
+    valid while ``now < expires[b]`` and no invalidation hook fired.
+    The ``channel_ready`` bit of cached column candidates is a
+    channel-global predicate of ``now`` and is rewritten in one sweep
+    whenever its value flips (see ``MemoryController._fast_per_bank``).
+    """
+
+    __slots__ = ("cands", "expires", "col_ready")
+
+    def __init__(self, num_banks: int) -> None:
+        self.cands: "list[list[CommandCandidate] | None]" = [None] * num_banks
+        self.expires = [0] * num_banks
+        self.col_ready = True
+
+    def invalidate(self, bank_index: int) -> None:
+        self.cands[bank_index] = None
+
+    def invalidate_all(self) -> None:
+        cands = self.cands
+        for bank_index in range(len(cands)):
+            cands[bank_index] = None
+
 
 @dataclass
 class ScanInfo:
@@ -116,7 +156,17 @@ class MemoryController:
         write_drain_low: int = 8,
         page_policy: str = "open",
         refresh_enabled: bool = False,
+        fast_path: "bool | None" = None,
     ) -> None:
+        """Create the controller.
+
+        Args:
+            fast_path: Use the event-driven scheduling path (cached
+                candidate scans).  ``None`` (default) defers to the
+                ``STFM_SIM_KERNEL`` environment toggle.  Both paths are
+                bit-identical; the naive path is kept as the
+                differential-testing oracle (DESIGN.md §3.14).
+        """
         if page_policy not in ("open", "closed"):
             raise ValueError("page_policy must be 'open' or 'closed'")
         self.timing = timing
@@ -161,6 +211,22 @@ class MemoryController:
         # Optional DRAM protocol sanitizer (repro.analysis.protocol).
         self.sanitizer = None
 
+        # Event-kernel state.  The caches stay coherent on both paths
+        # (the invalidation hooks in submit/_issue/_refresh are O(1) and
+        # unconditional) so the event-driven run loop may consult
+        # ``channel_quiet_bound`` regardless of the scheduling path.
+        if fast_path is None:
+            # Imported lazily: repro.sim's package __init__ pulls in
+            # modules that import this one.
+            from repro.sim.kernel import event_kernel_enabled
+
+            fast_path = event_kernel_enabled()
+        self._fast_path = fast_path
+        self._scan_caches = [
+            _BankCandidateCache(mapper.num_banks)
+            for _ in range(mapper.num_channels)
+        ]
+
     def attach_sanitizer(self, sanitizer) -> None:
         """Validate every issued command against DDR2 constraints.
 
@@ -188,9 +254,23 @@ class MemoryController:
             accepted = self.queues.enqueue_write(request)
         else:
             accepted = self.queues.enqueue_read(request)
+            if accepted:
+                self._scan_caches[request.channel].invalidate(request.bank)
         if accepted:
             self.policy.on_enqueue(request, now)
         return accepted
+
+    def can_accept(self, thread_id: int, address: int, is_write: bool) -> bool:
+        """Whether a submit for ``address`` would be admitted right now.
+
+        Side-effect-free fullness probe used by the cores' quiescence
+        check (a fetch blocked on a full buffer stays blocked until a
+        command issues, which bounds how far the event kernel may jump).
+        """
+        queues = self.queues.channels[self.mapper.decode(address).channel]
+        if is_write:
+            return not queues.writes_full()
+        return not queues.reads_full()
 
     def make_request(
         self, thread_id: int, address: int, is_write: bool, now: int
@@ -205,8 +285,12 @@ class MemoryController:
         if self.refresh_enabled:
             self._refresh(now)
         self.policy.begin_cycle(now)
-        for channel in self.channels:
-            self._schedule_channel(channel, now)
+        if self._fast_path:
+            for channel in self.channels:
+                self._schedule_channel_fast(channel, now)
+        else:
+            for channel in self.channels:
+                self._schedule_channel(channel, now)
 
     def _refresh(self, now: int) -> None:
         """All-bank auto-refresh: every tREFI the channel's banks are
@@ -222,6 +306,7 @@ class MemoryController:
             for bank in channel.banks:
                 bank.open_row = None
                 bank.busy_until = max(bank.busy_until, now) + timing.rfc
+            self._scan_caches[channel.index].invalidate_all()
 
     def _retire_in_service(self, now: int) -> None:
         heap = self._in_service
@@ -355,6 +440,336 @@ class MemoryController:
                 scan.ready_column_threads.update(threads)
         return per_bank, scan
 
+    # -- event-kernel fast path ---------------------------------------------
+    #
+    # Same decisions as `_schedule_channel`, computed incrementally: the
+    # per-bank candidate lists are cached between bank-state changes
+    # (see _BankCandidateCache) and the STFM scan side-info is only
+    # materialized when a command actually issues and the policy reads
+    # it.  DESIGN.md §3.14 carries the equivalence argument; the
+    # differential tests in tests/test_event_kernel.py enforce it.
+
+    def _schedule_channel_fast(self, channel: Channel, now: int) -> None:
+        queues = self.queues.channels[channel.index]
+        if self._update_drain_mode(channel.index, queues):
+            per_bank = self._write_candidates(channel, queues, now)
+            if not per_bank:
+                return
+            candidate = self.policy.select(channel.index, per_bank, now)
+            if candidate is None:
+                return
+            if self.policy.needs_scan:
+                scan = self._write_scan_info(channel.index, queues)
+            else:
+                scan = ScanInfo(channel.index)
+            self._issue(channel, candidate, scan, now)
+            return
+        per_bank = self._fast_per_bank(channel, queues, now)
+        if not per_bank:
+            return
+        candidate = self.policy.select(channel.index, per_bank, now)
+        if candidate is None:
+            return
+        if self.policy.needs_scan:
+            scan = self._read_scan_info(channel, queues, per_bank)
+        else:
+            scan = ScanInfo(channel.index)
+        self._issue(channel, candidate, scan, now)
+
+    def _fast_per_bank(
+        self, channel: Channel, queues, now: int
+    ) -> dict[int, list[CommandCandidate]]:
+        """Cached equivalent of `_scan_reads`'s per-bank candidates."""
+        cache = self._scan_caches[channel.index]
+        cands = cache.cands
+        col_ready = channel.column_ready(now)
+        if col_ready != cache.col_ready:
+            # The data-bus predicate is channel-global: rewrite the bit
+            # on every cached column candidate in one sweep.
+            for lst in cands:
+                if lst:
+                    for candidate in lst:
+                        if candidate.is_column:
+                            candidate.channel_ready = col_ready
+            cache.col_ready = col_ready
+        per_bank: dict[int, list[CommandCandidate]] = {}
+        expires = cache.expires
+        banks = channel.banks
+        for bank_index, queue in enumerate(queues.bank_queues):
+            if not queue:
+                continue
+            lst = cands[bank_index]
+            if lst is None or now >= expires[bank_index]:
+                lst, expiry = self._rebuild_bank(
+                    banks[bank_index], bank_index, queue, now, col_ready
+                )
+                cands[bank_index] = lst
+                expires[bank_index] = expiry
+            if lst:
+                per_bank[bank_index] = lst
+        return per_bank
+
+    def _rebuild_bank(
+        self, bank, bank_index: int, queue, now: int, col_ready: bool
+    ) -> "tuple[list[CommandCandidate], int]":
+        """Rebuild one bank's candidate list; returns (list, expiry)."""
+        timing = self.timing
+        busy_until = bank.busy_until
+        if now < busy_until:
+            return [], busy_until
+        open_row = bank.open_row
+        out: list[CommandCandidate] = []
+        if open_row is None:
+            latency = timing.rcd
+            for request in queue:
+                out.append(
+                    CommandCandidate(
+                        CommandKind.ACTIVATE, request, bank_index, latency
+                    )
+                )
+            return out, _NEVER
+        expiry = _NEVER
+        ras_at = bank.activated_at + timing.ras
+        ras_ok = now >= ras_at
+        column_latency = timing.cl + timing.burst
+        rp = timing.rp
+        for request in queue:
+            if request.row == open_row:
+                out.append(
+                    CommandCandidate(
+                        CommandKind.READ,
+                        request,
+                        bank_index,
+                        column_latency,
+                        channel_ready=col_ready,
+                    )
+                )
+            elif ras_ok:
+                out.append(
+                    CommandCandidate(CommandKind.PRECHARGE, request, bank_index, rp)
+                )
+            else:
+                expiry = ras_at
+        return out, expiry
+
+    def _write_candidates(
+        self, channel: Channel, queues, now: int
+    ) -> dict[int, list[CommandCandidate]]:
+        """Fast-path equivalent of `_scan_writes`'s per-bank candidates.
+
+        Bank classification and readiness are inlined (the bank state
+        machine's `next_command_for`/`is_ready` composition collapses to
+        three branches for a known-write request); the scan side-info is
+        deferred to `_write_scan_info` at issue time.
+        """
+        per_bank: dict[int, list[CommandCandidate]] = {}
+        banks = channel.banks
+        timing = self.timing
+        col_ready = channel.column_ready(now)
+        column_latency = timing.cl + timing.burst
+        rcd = timing.rcd
+        rp = timing.rp
+        ras = timing.ras
+        for request in queues.write_queue:
+            bank_index = request.bank
+            bank = banks[bank_index]
+            if now < bank.busy_until:
+                continue
+            open_row = bank.open_row
+            if open_row is None:
+                candidate = CommandCandidate(
+                    CommandKind.ACTIVATE, request, bank_index, rcd
+                )
+            elif open_row == request.row:
+                candidate = CommandCandidate(
+                    CommandKind.WRITE,
+                    request,
+                    bank_index,
+                    column_latency,
+                    channel_ready=col_ready,
+                )
+            elif now >= bank.activated_at + ras:
+                candidate = CommandCandidate(
+                    CommandKind.PRECHARGE, request, bank_index, rp
+                )
+            else:
+                continue
+            lst = per_bank.get(bank_index)
+            if lst is None:
+                per_bank[bank_index] = [candidate]
+            else:
+                lst.append(candidate)
+        return per_bank
+
+    def _write_scan_info(self, channel_index: int, queues) -> ScanInfo:
+        """Materialize the scan side-info `_scan_writes` would have built
+        (only called at issue time for policies with ``needs_scan``)."""
+        scan = ScanInfo(channel_index)
+        for bank_index, bank_queue in enumerate(queues.bank_queues):
+            if not bank_queue:
+                continue
+            threads = {r.thread_id for r in bank_queue}
+            scan.waiting_threads_by_bank[bank_index] = threads
+            scan.waiting_column_threads.update(threads)
+            # During drains, queued reads stand in for ready reads in
+            # both accounting bases (the issuing bank was free).
+            scan.ready_threads_by_bank[bank_index] = set(threads)
+            scan.ready_column_threads.update(threads)
+        return scan
+
+    def _read_scan_info(
+        self,
+        channel: Channel,
+        queues,
+        per_bank: dict[int, list[CommandCandidate]],
+    ) -> ScanInfo:
+        """Materialize the scan side-info `_scan_reads` would have built.
+
+        Called at issue time, before any state mutates, so the live
+        queues and open rows are exactly what the naive scan saw; the
+        ready sets derive from the (cache-validated) candidates.
+        """
+        scan = ScanInfo(channel.index)
+        banks = channel.banks
+        for bank_index, queue in enumerate(queues.bank_queues):
+            if not queue:
+                continue
+            open_row = banks[bank_index].open_row
+            waiting_threads: set[int] = set()
+            oldest_row_access: "int | None" = None
+            for request in queue:
+                waiting_threads.add(request.thread_id)
+                if open_row is not None and request.row == open_row:
+                    scan.waiting_column_threads.add(request.thread_id)
+                elif (
+                    oldest_row_access is None
+                    or request.arrival < oldest_row_access
+                ):
+                    oldest_row_access = request.arrival
+            candidates = per_bank.get(bank_index)
+            if candidates:
+                scan.ready_threads_by_bank[bank_index] = {
+                    c.thread_id for c in candidates
+                }
+                scan.ready_column_threads.update(
+                    c.thread_id
+                    for c in candidates
+                    if c.is_column and c.channel_ready
+                )
+            scan.waiting_threads_by_bank[bank_index] = waiting_threads
+            if oldest_row_access is not None:
+                scan.oldest_row_access_arrival[bank_index] = oldest_row_access
+        return scan
+
+    # -- inert-window analysis (event kernel) --------------------------------
+
+    def _drain_next(self, draining: bool, reads: int, writes: int) -> bool:
+        """One `_update_drain_mode` transition with frozen queue counts."""
+        if draining:
+            return writes > self.write_drain_low
+        return writes >= self.write_drain_high or (reads == 0 and writes > 0)
+
+    def channel_quiet_bound(self, channel: Channel, now: int, quantum: int) -> int:
+        """First tick >= ``now`` at which scheduling this channel could
+        issue or build a candidate, assuming no external events (no
+        enqueue, no refresh) until then.  Returns ``now`` itself when the
+        channel is not provably quiet.
+
+        With frozen queue counts the drain-mode trajectory is exact (it
+        either reaches a fixed point after one transition or alternates
+        every tick when ``reads == 0 < writes <= write_drain_low``); the
+        bound must hold under every mode the trajectory visits.
+        """
+        queues = self.queues.channels[channel.index]
+        reads = queues.read_count
+        writes = queues.write_count
+        state = self._drain_next(self._draining[channel.index], reads, writes)
+        later = self._drain_next(state, reads, writes)
+        modes = (state,) if later == state else (state, later)
+        horizon = _NEVER
+        for mode in modes:
+            if mode:
+                bound = self._write_quiet_bound(channel, queues, now)
+            else:
+                bound = self._read_quiet_bound(channel, queues, now)
+            if bound <= now:
+                return now
+            if bound < horizon:
+                horizon = bound
+        if horizon >= _NEVER:
+            return _NEVER
+        # Readiness thresholds are exact CPU-cycle times; the first tick
+        # that can observe one is the next quantum boundary at/after it.
+        return -(-horizon // quantum) * quantum
+
+    def _read_quiet_bound(self, channel: Channel, queues, now: int) -> int:
+        per_bank = self._fast_per_bank(channel, queues, now)
+        if per_bank:
+            if channel.column_ready(now):
+                return now  # a ready column may issue this tick
+            for candidates in per_bank.values():
+                for candidate in candidates:
+                    if not candidate.is_column:
+                        return now  # a bank-ready row command may issue
+            if not self.policy.pure_select:
+                # NFQ's select pops its inversion-window stamp whenever a
+                # bank's earliest-deadline candidate is a column; skipping
+                # those calls would leave stale stamps alive.  Run live.
+                return now
+            # Every candidate is a column waiting for the data bus:
+            # select() filters non-channel-ready winners, so a pure-select
+            # policy cannot issue (or change state) until the bus frees —
+            # or a bank deadline below surfaces a new candidate.
+            bound = channel.data_bus_busy_until - self.timing.cl
+        else:
+            bound = _NEVER
+        expires = self._scan_caches[channel.index].expires
+        for bank_index, queue in enumerate(queues.bank_queues):
+            if queue and expires[bank_index] < bound:
+                bound = expires[bank_index]
+        return bound
+
+    def _write_quiet_bound(self, channel: Channel, queues, now: int) -> int:
+        timing = self.timing
+        banks = channel.banks
+        bound = _NEVER
+        for request in queues.write_queue:
+            bank = banks[request.bank]
+            busy_until = bank.busy_until
+            if now < busy_until:
+                if busy_until < bound:
+                    bound = busy_until
+                continue
+            open_row = bank.open_row
+            if open_row is None or open_row == request.row:
+                return now  # an ACTIVATE or WRITE is bank-ready
+            ras_at = bank.activated_at + timing.ras
+            if now >= ras_at:
+                return now  # a PRECHARGE is bank-ready
+            if ras_at < bound:
+                bound = ras_at
+        return bound
+
+    def fast_forward_drain(self, ticks: int) -> None:
+        """Apply ``ticks`` skipped `_update_drain_mode` transitions.
+
+        Queue counts are frozen across an inert window, so the per-tick
+        transition function is fixed: it reaches a fixed point after one
+        application or alternates with period two.
+        """
+        if ticks <= 0:
+            return
+        for channel_index, queues in enumerate(self.queues.channels):
+            reads = queues.read_count
+            writes = queues.write_count
+            initial = self._draining[channel_index]
+            state = self._drain_next(initial, reads, writes)
+            later = self._drain_next(state, reads, writes)
+            if later == state:
+                self._draining[channel_index] = state
+            else:
+                self._draining[channel_index] = state if ticks % 2 else initial
+
     def _issue(
         self, channel: Channel, candidate: CommandCandidate, scan: ScanInfo, now: int
     ) -> None:
@@ -362,6 +777,9 @@ class MemoryController:
         bank = channel.banks[candidate.bank_index]
         kind = candidate.kind
         self.commands_issued += 1
+        # The issued bank's state (busy window, open row, queue
+        # membership) changes below — drop its cached candidates.
+        self._scan_caches[channel.index].invalidate(candidate.bank_index)
         if kind is CommandKind.PRECHARGE:
             channel.issue(bank, kind, request.coords.row, now)
             request.got_precharge = True

@@ -34,6 +34,11 @@ class MemoryRequest:
             ``MemoryController.submit``.  Policies that need request
             identity (PAR-BS batch marking) key on this — unlike
             ``id()``, it is deterministic and never reused.
+        channel / bank / row: The decoded coordinates hoisted into flat
+            attributes.  The controller's candidate scan reads them every
+            DRAM cycle for every queued request; the flat copies avoid a
+            ``coords`` attribute hop on the hottest loads in the
+            simulator.
     """
 
     __slots__ = (
@@ -46,6 +51,9 @@ class MemoryRequest:
         "got_activate",
         "got_precharge",
         "seq",
+        "channel",
+        "bank",
+        "row",
     )
 
     def __init__(
@@ -66,6 +74,9 @@ class MemoryRequest:
         self.completed_at: int | None = None
         self.got_activate = False
         self.got_precharge = False
+        self.channel = coords.channel
+        self.bank = coords.bank
+        self.row = coords.row
 
     @property
     def done(self) -> bool:

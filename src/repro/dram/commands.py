@@ -51,9 +51,23 @@ class CommandCandidate:
             a lower-priority command (e.g. another thread's precharge)
             through — this is what lets a row-hit stream monopolize its
             bank.
+        is_column / thread_id / arrival: Hoisted copies of derived
+            values.  Policies read them in every ``priority_key``
+            evaluation; storing them directly (rather than as properties
+            chasing ``kind``/``request``) keeps the scheduler's inner
+            comparison loop free of descriptor dispatch.
     """
 
-    __slots__ = ("kind", "request", "bank_index", "latency", "channel_ready")
+    __slots__ = (
+        "kind",
+        "request",
+        "bank_index",
+        "latency",
+        "channel_ready",
+        "is_column",
+        "thread_id",
+        "arrival",
+    )
 
     def __init__(
         self,
@@ -68,18 +82,9 @@ class CommandCandidate:
         self.bank_index = bank_index
         self.latency = latency
         self.channel_ready = channel_ready
-
-    @property
-    def is_column(self) -> bool:
-        return self.kind.is_column
-
-    @property
-    def thread_id(self) -> int:
-        return self.request.thread_id
-
-    @property
-    def arrival(self) -> int:
-        return self.request.arrival
+        self.is_column = kind >= CommandKind.READ
+        self.thread_id = request.thread_id
+        self.arrival = request.arrival
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

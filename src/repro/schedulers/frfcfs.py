@@ -22,6 +22,7 @@ class FrFcfsPolicy(SchedulingPolicy):
     """First-ready FCFS prioritization."""
 
     name = "FR-FCFS"
+    needs_scan = False  # stateless: never reads the scan side-info
 
     def priority_key(self, candidate: CommandCandidate, now: int):
         return (1 if candidate.is_column else 0, -candidate.arrival)

@@ -32,6 +32,7 @@ class ParBsPolicy(SchedulingPolicy):
     """Parallelism-aware batch scheduler."""
 
     name = "PAR-BS"
+    needs_scan = False  # priorities derive from marks/ranks, not the scan
 
     def __init__(self, num_threads: int, marking_cap: int = 5) -> None:
         """Create the policy.
@@ -55,6 +56,14 @@ class ParBsPolicy(SchedulingPolicy):
 
     # -- batching ---------------------------------------------------------
     def begin_cycle(self, now: int) -> None:
+        if not self._marked:
+            self._form_batch()
+
+    def fast_forward(self, start, ticks, stall_slopes) -> None:
+        """Inert-window replay: with frozen queues, ``ticks`` begin_cycle
+        calls collapse to one.  Either the first call forms a non-empty
+        batch (later calls no-op on ``self._marked``) or the queues hold
+        no requests and every call returns without side effects."""
         if not self._marked:
             self._form_batch()
 

@@ -1,0 +1,48 @@
+"""Simulation-kernel selection (event-driven vs. naive per-cycle).
+
+The simulator has two inner-loop implementations that produce
+bit-identical results:
+
+* ``event`` (default) — the event-driven kernel: the controller caches
+  per-channel candidate scans between state changes and ``CmpSystem.run``
+  jumps over provably-inert cycle ranges (see DESIGN.md §3.14).
+* ``naive`` — the original tick-every-DRAM-cycle loop with eager
+  candidate scans, kept as a differential-testing oracle.
+
+Selection uses the ``STFM_SIM_KERNEL`` environment variable, following
+the same pattern as ``STFM_SIM_SANITIZE`` / ``STFM_SIM_FAULTS``: the
+toggle is inherited by engine worker processes and never perturbs result
+cache keys (results are identical either way, so cross-kernel cache
+sharing is sound by construction).
+"""
+
+from __future__ import annotations
+
+import os
+
+KERNEL_ENV = "STFM_SIM_KERNEL"
+
+#: Known kernel names.
+KERNELS = ("event", "naive")
+
+
+def kernel_name() -> str:
+    """The selected simulation kernel ('event' unless overridden).
+
+    Read at every call (not cached at import) so tests and the CLI can
+    flip ``STFM_SIM_KERNEL`` at runtime.
+    """
+    value = os.environ.get(KERNEL_ENV, "").strip().lower()
+    if not value:
+        return "event"
+    if value not in KERNELS:
+        raise ValueError(
+            f"{KERNEL_ENV}={value!r} is not a known kernel "
+            f"(choose from: {', '.join(KERNELS)})"
+        )
+    return value
+
+
+def event_kernel_enabled() -> bool:
+    """True when the event-driven fast path should be used."""
+    return kernel_name() == "event"
