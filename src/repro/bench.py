@@ -15,6 +15,13 @@ numbers in commit messages:
   over its serial path on a small batch.
 * ``service_round_trip`` — submit-to-result latency of a tiny job
   through the HTTP simulation service on a loopback socket.
+* ``submit_storm`` — per-submit POST latency percentiles (p50/p90/max)
+  for a burst of distinct jobs against the service, plus the wall time
+  to drain the whole burst.
+* ``cluster_throughput`` — jobs/second of a local coordinator +
+  3-runner cluster (subprocesses, store proxy) over the same burst,
+  with the duplicate-put count recorded (must be 0: every sub-job
+  simulated exactly once across the cluster).
 
 Machine normalization: every timing also carries ``normalized`` =
 seconds / ``calibration_seconds``, where the calibration is a fixed
@@ -42,7 +49,7 @@ import time
 
 #: Sequence number of the snapshot this revision writes.  Bump when a
 #: PR adds a new trajectory point (the file is committed, not ignored).
-BENCH_SEQUENCE = 6
+BENCH_SEQUENCE = 7
 
 #: Normalized slowdown beyond which a metric counts as a regression.
 REGRESSION_THRESHOLD = 1.30
@@ -213,6 +220,128 @@ def _time_service_round_trip(tmp_dir: str) -> float:
         loop.close()
 
 
+def _storm_specs(count: int, budget: int = 1_500) -> "list[dict]":
+    """``count`` distinct tiny workload specs (seed-disjoint, so their
+    sub-job cache keys never overlap — any duplicate simulation across
+    the cluster is then a real redundancy, not shared work)."""
+    return [
+        {
+            "kind": "workload",
+            "benchmarks": ["mcf", "hmmer"],
+            "policy": "fr-fcfs",
+            "budget": budget,
+            "seed": seed,
+        }
+        for seed in range(1, count + 1)
+    ]
+
+
+def _percentile(sorted_values: "list[float]", fraction: float) -> float:
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5)
+    )
+    return sorted_values[index]
+
+
+def _time_submit_storm(tmp_dir: str, count: int = 16) -> dict:
+    """Latency percentiles of a submit burst against the service.
+
+    Every POST is timed individually (the admission path: parse,
+    digest, persist, enqueue) while workers drain the backlog; the
+    drain time of the whole burst rides along.
+    """
+    import asyncio
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServiceConfig, SimulationService
+
+    service = SimulationService(
+        ServiceConfig(
+            host="127.0.0.1",
+            port=0,
+            workers=2,
+            queue_limit=count,
+            cache_dir=None,
+            state_dir=os.path.join(tmp_dir, "storm-state"),
+        )
+    )
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    try:
+        asyncio.run_coroutine_threadsafe(service.start(), loop).result(30)
+        client = ServiceClient(f"http://127.0.0.1:{service.port}")
+        latencies = []
+        views = []
+        t0 = time.perf_counter()
+        for spec in _storm_specs(count):
+            t_submit = time.perf_counter()
+            views.append(client.submit(spec))
+            latencies.append(time.perf_counter() - t_submit)
+        for view in views:
+            client.wait(view["id"], timeout=300)
+        drain = time.perf_counter() - t0
+        latencies.sort()
+        return {
+            "jobs": count,
+            "submit_p50_seconds": _percentile(latencies, 0.50),
+            "submit_p90_seconds": _percentile(latencies, 0.90),
+            "submit_max_seconds": latencies[-1],
+            "drain_seconds": drain,
+        }
+    finally:
+        asyncio.run_coroutine_threadsafe(
+            service.drain_and_stop(), loop
+        ).result(120)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+def _time_cluster_throughput(
+    tmp_dir: str, runners: int = 3, count: int = 9
+) -> dict:
+    """Jobs/second of a local subprocess cluster draining a burst."""
+    from repro.cluster.supervisor import LocalCluster
+    from repro.service.client import ServiceClient, parse_metrics
+
+    cluster = LocalCluster(
+        runners=runners,
+        cache_dir=os.path.join(tmp_dir, "cluster-cache"),
+        state_dir=os.path.join(tmp_dir, "cluster-state"),
+        lease_ttl=15.0,
+        queue_limit=count,
+        poll=0.05,
+    )
+    with cluster:
+        client = ServiceClient(cluster.url)
+        t0 = time.perf_counter()
+        views = [client.submit(spec) for spec in _storm_specs(count)]
+        for view in views:
+            done = client.wait(view["id"], timeout=300)
+            if done["status"] != "done":
+                raise RuntimeError(f"cluster job failed: {done}")
+        wall = time.perf_counter() - t0
+        metrics = parse_metrics(client.metrics())
+        duplicate_puts = metrics.get(
+            "stfm_store_proxy_duplicate_puts_total", 0.0
+        )
+        runners_used = sum(
+            1
+            for name in metrics
+            if name.startswith("stfm_cluster_leases_granted_total")
+        )
+    return {
+        "runners": runners,
+        "jobs": count,
+        "wall_seconds": wall,
+        "jobs_per_second": count / wall,
+        "duplicate_puts": duplicate_puts,
+        "runners_used": runners_used,
+    }
+
+
 # -- suite -------------------------------------------------------------------
 
 
@@ -283,6 +412,31 @@ def run_suite(quick: bool = False, log=print) -> dict:
             "normalized": norm(rtt),
         }
         log(f"service_round_trip: {rtt:.2f}s")
+
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            storm = _time_submit_storm(tmp_dir)
+        storm["normalized"] = norm(storm["drain_seconds"])
+        storm["submit_p50_normalized"] = norm(storm["submit_p50_seconds"])
+        metrics["submit_storm"] = storm
+        log(
+            f"submit_storm: {storm['jobs']} jobs, submit p50 "
+            f"{storm['submit_p50_seconds'] * 1e3:.1f}ms p90 "
+            f"{storm['submit_p90_seconds'] * 1e3:.1f}ms max "
+            f"{storm['submit_max_seconds'] * 1e3:.1f}ms; drained in "
+            f"{storm['drain_seconds']:.2f}s"
+        )
+
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            cluster = _time_cluster_throughput(tmp_dir)
+        cluster["normalized"] = norm(cluster["wall_seconds"])
+        metrics["cluster_throughput"] = cluster
+        log(
+            f"cluster_throughput: {cluster['jobs']} jobs on "
+            f"{cluster['runners']} runners in "
+            f"{cluster['wall_seconds']:.2f}s "
+            f"({cluster['jobs_per_second']:.2f} jobs/s, "
+            f"{cluster['duplicate_puts']:.0f} duplicate puts)"
+        )
 
     from repro.sim.kernel import kernel_name
 
@@ -366,6 +520,12 @@ def check_failures(payload: dict) -> "list[str]":
             failures.append(
                 f"{key}: event kernel slower than naive ({speedup:.2f}x)"
             )
+    cluster = payload.get("metrics", {}).get("cluster_throughput")
+    if cluster and cluster.get("duplicate_puts"):
+        failures.append(
+            f"cluster_throughput: {cluster['duplicate_puts']:.0f} "
+            f"duplicate store puts (a sub-job was simulated twice)"
+        )
     comparison = payload.get("comparison")
     if comparison:
         failures.extend(comparison.get("regressions", []))

@@ -13,6 +13,9 @@ Usage::
     stfm-sim submit fig3 --wait  # submit a job to a running service
     stfm-sim status <job-id>     # query a job (or service health)
     stfm-sim cache --prune       # inspect/prune the result store
+    stfm-sim coordinator         # cluster: admission, leases, store proxy
+    stfm-sim runner --coordinator http://host:port   # lease + execute
+    stfm-sim cluster --runners 3 # local dev cluster (subprocesses)
 
 (Equivalently: ``python -m repro.cli ...``.)
 """
@@ -330,21 +333,100 @@ def _cmd_status(args) -> int:
 
 
 def _cmd_cache(args) -> int:
+    import json as json_module
+
     from repro.engine.store import ResultStore
 
-    cache_dir = args.cache_dir or default_cache_dir()
-    store = ResultStore(cache_dir)
-    stats = store.stats()
+    location = args.store or args.cache_dir or default_cache_dir()
+    store = ResultStore(location)
+    try:
+        stats = store.stats()
+        report = {
+            "location": store.location(),
+            "backend": store.backend.scheme,
+            "entries": stats.entries,
+            "total_bytes": stats.total_bytes,
+        }
+        if args.prune:
+            removed = store.prune()
+            report["pruned_entries"] = removed.entries
+            report["pruned_bytes"] = removed.total_bytes
+    finally:
+        store.close()
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+        return 0
     print(
-        f"{cache_dir}: {stats.entries} entr{'y' if stats.entries == 1 else 'ies'}, "
-        f"{stats.total_bytes} bytes"
+        f"{report['location']}: {report['entries']} "
+        f"entr{'y' if report['entries'] == 1 else 'ies'}, "
+        f"{report['total_bytes']} bytes"
     )
     if args.prune:
-        removed = store.prune()
-        print(f"pruned {removed.entries} entr"
-              f"{'y' if removed.entries == 1 else 'ies'} "
-              f"({removed.total_bytes} bytes)")
+        print(f"pruned {report['pruned_entries']} entr"
+              f"{'y' if report['pruned_entries'] == 1 else 'ies'} "
+              f"({report['pruned_bytes']} bytes)")
     return 0
+
+
+def _cmd_coordinator(args) -> int:
+    from repro.cluster.coordinator import CoordinatorConfig, run_coordinator
+
+    if args.inject:
+        rc = _enable_faults(args.inject)
+        if rc:
+            return rc
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    state_dir = args.state_dir or os.path.join(
+        args.cache_dir or default_cache_dir(), "coordinator"
+    )
+    config = CoordinatorConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        cache_dir=cache_dir,
+        state_dir=state_dir,
+        lease_ttl=args.lease_ttl,
+    )
+    return run_coordinator(config)
+
+
+def _cmd_runner(args) -> int:
+    from repro.cluster.runner import RunnerConfig, run_runner
+
+    if args.inject:
+        rc = _enable_faults(args.inject)
+        if rc:
+            return rc
+    store = None if args.no_store else args.store
+    config = RunnerConfig(
+        coordinator=args.coordinator,
+        runner_id=args.id,
+        store=store,
+        engine_jobs=args.engine_jobs,
+        poll=args.poll,
+        max_jobs=args.max_jobs,
+    )
+    return run_runner(config)
+
+
+def _cmd_cluster(args) -> int:
+    from repro.cluster.supervisor import LocalCluster, run_local_cluster
+
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    state_dir = args.state_dir or os.path.join(
+        args.cache_dir or default_cache_dir(), "coordinator"
+    )
+    cluster = LocalCluster(
+        runners=args.runners,
+        cache_dir=cache_dir,
+        state_dir=state_dir,
+        lease_ttl=args.lease_ttl,
+        engine_jobs=args.engine_jobs,
+        queue_limit=args.queue_limit,
+        host=args.host,
+        port=args.port,
+    )
+    return run_local_cluster(cluster)
 
 
 def _cmd_bench(args) -> int:
@@ -585,7 +667,8 @@ def build_parser() -> argparse.ArgumentParser:
     status_parser.set_defaults(func=_cmd_status)
 
     cache_parser = sub.add_parser(
-        "cache", help="inspect or prune the engine result store"
+        "cache", help="inspect or prune the engine result store "
+        "(any backend: directory, sqlite file, http:// proxy)"
     )
     cache_parser.add_argument(
         "--cache-dir", metavar="PATH", default=None,
@@ -593,9 +676,132 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/stfm-sim)",
     )
     cache_parser.add_argument(
+        "--store", metavar="LOCATION", default=None,
+        help="backend location overriding --cache-dir: a directory, "
+        "'sqlite:/path.db', or 'http://coordinator:port'",
+    )
+    cache_parser.add_argument(
         "--prune", action="store_true", help="delete every cached entry"
     )
+    cache_parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report (identical schema on every backend)",
+    )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    coord_parser = sub.add_parser(
+        "coordinator", help="run a cluster coordinator: admission, "
+        "leases, and the store proxy (see repro.cluster)"
+    )
+    coord_parser.add_argument("--host", default="127.0.0.1")
+    coord_parser.add_argument(
+        "--port", type=int, default=8765, help="0 picks a free port"
+    )
+    coord_parser.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="admission queue capacity (429 beyond this)",
+    )
+    coord_parser.add_argument(
+        "--cache-dir", metavar="LOCATION", default=None,
+        help="shared result store: a directory, 'sqlite:/path.db', or "
+        "an http:// URL (default: $STFM_SIM_CACHE_DIR or "
+        "~/.cache/stfm-sim)",
+    )
+    coord_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared store (and the store proxy)",
+    )
+    coord_parser.add_argument(
+        "--state-dir", metavar="PATH", default=None,
+        help="job + lease state directory (default: "
+        "<cache-dir>/coordinator)",
+    )
+    coord_parser.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="SECONDS",
+        help="seconds a lease survives without a heartbeat",
+    )
+    coord_parser.add_argument(
+        "--inject", nargs="+", metavar="SITE=RATE", default=None,
+        help="deterministic fault injection (repro.faults)",
+    )
+    coord_parser.set_defaults(func=_cmd_coordinator)
+
+    runner_parser = sub.add_parser(
+        "runner", help="run a cluster runner: lease jobs from a "
+        "coordinator and execute them"
+    )
+    runner_parser.add_argument(
+        "--coordinator", default="http://127.0.0.1:8765", metavar="URL"
+    )
+    runner_parser.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="runner id for leases and /metrics (default: "
+        "<hostname>-<pid>)",
+    )
+    runner_parser.add_argument(
+        "--store", default="proxy", metavar="LOCATION",
+        help="result store: 'proxy' (coordinator's store over HTTP, "
+        "the default), a directory, or 'sqlite:/path.db'",
+    )
+    runner_parser.add_argument(
+        "--no-store", action="store_true",
+        help="run without a result store (every job re-simulates)",
+    )
+    runner_parser.add_argument(
+        "--engine-jobs", type=int, default=1, metavar="N",
+        help="simulation worker processes per job",
+    )
+    runner_parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle sleep between empty lease requests",
+    )
+    runner_parser.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after completing N jobs (batch mode)",
+    )
+    runner_parser.add_argument(
+        "--inject", nargs="+", metavar="SITE=RATE", default=None,
+        help="deterministic fault injection (repro.faults)",
+    )
+    runner_parser.set_defaults(func=_cmd_runner)
+
+    cluster_parser = sub.add_parser(
+        "cluster", help="run a local dev cluster: one coordinator + N "
+        "runner subprocesses"
+    )
+    cluster_parser.add_argument(
+        "--runners", type=int, default=2, metavar="N"
+    )
+    cluster_parser.add_argument("--host", default="127.0.0.1")
+    cluster_parser.add_argument(
+        "--port", type=int, default=8765, help="0 picks a free port"
+    )
+    cluster_parser.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="admission queue capacity",
+    )
+    cluster_parser.add_argument(
+        "--cache-dir", metavar="LOCATION", default=None,
+        help="shared result store for the coordinator (runners mount "
+        "it over the store proxy)",
+    )
+    cluster_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared store",
+    )
+    cluster_parser.add_argument(
+        "--state-dir", metavar="PATH", default=None,
+        help="coordinator state directory",
+    )
+    cluster_parser.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="SECONDS",
+        help="lease TTL for the coordinator",
+    )
+    cluster_parser.add_argument(
+        "--engine-jobs", type=int, default=1, metavar="N",
+        help="simulation worker processes per runner job",
+    )
+    cluster_parser.set_defaults(func=_cmd_cluster)
 
     report_parser = sub.add_parser(
         "report", help="generate the paper-vs-measured markdown report"

@@ -1,0 +1,33 @@
+"""Distributed sweep cluster: coordinator/runner topology.
+
+The single-process service (``repro.service``) splits into two roles:
+
+* a **coordinator** (:class:`~repro.cluster.coordinator.ClusterCoordinator`)
+  that owns admission, job state, the durable lease table, and —
+  optionally — the shared result store, served over HTTP; and
+* N **runner** processes (:class:`~repro.cluster.runner.ClusterRunner`)
+  that lease jobs from the coordinator, execute them through the same
+  engine as single-process ``serve``, heartbeat while working, and post
+  results back.
+
+Delivery is *at-least-once*: a lease that misses its heartbeats expires
+and the job is redelivered to another runner.  Determinism plus the
+content-addressed result store make redelivery safe — a re-executed
+job resolves from cache (or recomputes the identical payload), so
+clients never observe duplicate or divergent results.
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator, CoordinatorConfig
+from repro.cluster.leases import Lease, LeaseTable
+from repro.cluster.runner import ClusterRunner, RunnerConfig
+from repro.cluster.supervisor import LocalCluster
+
+__all__ = [
+    "ClusterCoordinator",
+    "CoordinatorConfig",
+    "ClusterRunner",
+    "RunnerConfig",
+    "Lease",
+    "LeaseTable",
+    "LocalCluster",
+]

@@ -1,0 +1,449 @@
+"""The cluster coordinator: admission, leases, and the store proxy.
+
+A :class:`ClusterCoordinator` *is* a :class:`SimulationService` with
+zero in-process workers: the same submission endpoints, job state,
+idempotency and digest-coalescing behavior — but instead of a worker
+pool draining the admission queue, runner processes lease jobs over
+HTTP and post results back.  Extra endpoints::
+
+    POST /v1/leases                  lease a job      200 | 204 (none) | 503
+    POST /v1/leases/<id>/heartbeat   extend deadline  200 | 410 (lost)
+    POST /v1/leases/<id>/complete    settle the job   200 | 410 (redelivered)
+    GET  /v1/cluster                 topology view    200
+    GET  /v1/store/<key>             store proxy      200 | 404
+    PUT  /v1/store/<key>             store proxy      204
+    POST /v1/store/<key>/quarantine  store proxy      204
+    GET  /v1/store                   store stats      200
+    POST /v1/store/prune             prune the store  200
+
+Leases are routed with *cache affinity*: each pending job's spec digest
+maps onto a live runner by rendezvous hashing, and a requesting runner
+is preferentially given jobs it owns — identical and near-identical
+specs keep landing on the runner whose engine memory cache is already
+warm.  Routing is work-conserving: a runner that owns nothing pending
+takes the oldest job rather than idling.
+
+A lease that misses its heartbeats expires: the job is requeued at the
+front and the next lease request redelivers it (at-least-once).  A
+completion for an expired lease is answered ``410 Gone`` and its
+payload discarded, so only one attempt ever settles a job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.service import state as jobstate
+from repro.service.metrics import MetricsRegistry
+from repro.service.server import (
+    ServiceConfig,
+    SimulationService,
+    _HttpError,
+    _json_response,
+)
+from repro.cluster.leases import LeaseTable
+
+_KEY_RE = re.compile(r"[A-Za-z0-9._-]{1,200}")
+
+#: A runner counts as live for affinity routing for this many lease
+#: TTLs after its last contact.
+_LIVENESS_TTLS = 3.0
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Everything ``stfm-sim coordinator`` needs."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765  # 0 = pick a free port (tests)
+    queue_limit: int = 32
+    cache_dir: "str | None" = None  # shared store location (any backend)
+    state_dir: str = "stfm-coordinator-state"
+    lease_ttl: float = 15.0
+
+    def service_config(self) -> ServiceConfig:
+        return ServiceConfig(
+            host=self.host,
+            port=self.port,
+            workers=0,  # runners execute; the coordinator only routes
+            queue_limit=self.queue_limit,
+            cache_dir=self.cache_dir,
+            state_dir=self.state_dir,
+        )
+
+
+class ClusterCoordinator(SimulationService):
+    """A workerless service whose queue drains through leases."""
+
+    def __init__(self, config: CoordinatorConfig) -> None:
+        self.cluster_config = config
+        self.leases = LeaseTable(
+            Path(config.state_dir) / "leases", ttl=config.lease_ttl
+        )
+        self._runners_seen: dict[str, float] = {}
+        self._runner_engine: dict[str, dict[str, int]] = {}
+        self._sweep_task: "asyncio.Task | None" = None
+        super().__init__(config.service_config())
+
+    # -- metrics -------------------------------------------------------------
+    def _register_extra_metrics(self, m: MetricsRegistry) -> None:
+        m.multi_gauge(
+            "stfm_cluster_active_leases",
+            "Leases currently held, per runner.",
+            read=lambda: [
+                ({"runner": runner}, count)
+                for runner, count in sorted(self.leases.active_by_runner().items())
+            ],
+        )
+        m.multi_gauge(
+            "stfm_cluster_leases_granted_total",
+            "Leases ever granted, per runner.",
+            read=lambda: [
+                ({"runner": runner}, count)
+                for runner, count in sorted(self.leases.granted.items())
+            ],
+        )
+        m.multi_gauge(
+            "stfm_cluster_runner_sims_total",
+            "Simulation jobs actually executed, per runner (from "
+            "completion reports).",
+            read=lambda: [
+                ({"runner": runner}, counts.get("jobs_run", 0))
+                for runner, counts in sorted(self._runner_engine.items())
+            ],
+        )
+        m.multi_gauge(
+            "stfm_cluster_runner_cache_hits_total",
+            "Engine cache hits, per runner (from completion reports).",
+            read=lambda: [
+                ({"runner": runner}, counts.get("hits", 0))
+                for runner, counts in sorted(self._runner_engine.items())
+            ],
+        )
+        m.gauge(
+            "stfm_cluster_lease_expirations_total",
+            "Leases that missed their heartbeats and expired.",
+            read=lambda: self.leases.expirations,
+        )
+        m.gauge(
+            "stfm_cluster_redeliveries_total",
+            "Jobs requeued after their lease expired (at-least-once).",
+            read=lambda: self.leases.redeliveries,
+        )
+        m.gauge(
+            "stfm_cluster_late_completions_total",
+            "Completions discarded because the lease had expired.",
+            read=lambda: self.leases.late_completions,
+        )
+        m.gauge(
+            "stfm_cluster_runners_live",
+            "Runners that requested or heartbeat a lease recently.",
+            read=lambda: len(self._live_runners()),
+        )
+        self.m_proxy = m.counter(
+            "stfm_store_proxy_requests_total",
+            "Store-proxy operations served, by op and outcome.",
+        )
+        self.m_duplicate_puts = m.counter(
+            "stfm_store_proxy_duplicate_puts_total",
+            "Proxy puts whose key already existed — nonzero means two "
+            "runners simulated the same sub-job.",
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        stale = self.leases.recover()
+        if stale:
+            print(
+                f"recovered: discarded {stale} stale lease(s) from a "
+                f"previous incarnation",
+                flush=True,
+            )
+        await super().start()
+        self._sweep_task = asyncio.create_task(self._sweep_loop())
+
+    async def drain_and_stop(self) -> None:
+        self.draining = True
+        # Outstanding leases either complete (live runner) or expire and
+        # requeue.  Requeued jobs persist as QUEUED and recover on the
+        # next start, so drain waits for active leases only — never for
+        # the queue to empty.
+        deadline = time.monotonic() + self.leases.ttl + 5.0
+        while self.leases.active() and time.monotonic() < deadline:
+            self._expire_due()
+            await asyncio.sleep(0.05)
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
+            try:
+                await self._sweep_task
+            except asyncio.CancelledError:
+                pass
+            self._sweep_task = None
+        await super().drain_and_stop()
+
+    async def _sweep_loop(self) -> None:
+        interval = max(0.05, min(1.0, self.leases.ttl / 4.0))
+        while True:
+            await asyncio.sleep(interval)
+            self._expire_due()
+
+    def _expire_due(self) -> None:
+        for lease in self.leases.expire_due(time.monotonic()):
+            job = self.jobs.get(lease.job_id)
+            if job is None or job.status in jobstate.TERMINAL:
+                continue
+            job.status = jobstate.QUEUED
+            self.state.save(job)
+            self.queue.requeue(job.id)
+            self.m_jobs.inc(event="redelivered")
+
+    # -- routing -------------------------------------------------------------
+    def _route_extra(
+        self, method: str, path: str, headers: dict, body: bytes
+    ) -> "tuple[int, dict, bytes] | None":
+        if path == "/v1/leases" and method == "POST":
+            return self._route_lease_request(body)
+        if path.startswith("/v1/leases/") and method == "POST":
+            rest = path[len("/v1/leases/"):]
+            lease_id, _, action = rest.partition("/")
+            if action == "heartbeat":
+                return self._route_heartbeat(lease_id)
+            if action == "complete":
+                return self._route_complete(lease_id, body)
+            raise _HttpError(404, f"no such lease action: {action!r}")
+        if path == "/v1/cluster" and method == "GET":
+            return _json_response(200, self._cluster_view())
+        if path == "/v1/store" or path.startswith("/v1/store/"):
+            return self._route_store(method, path, body)
+        return None
+
+    # -- leases --------------------------------------------------------------
+    def _route_lease_request(self, body: bytes) -> tuple[int, dict, bytes]:
+        payload = _parse_json(body)
+        runner = str(payload.get("runner") or "").strip()
+        if not runner:
+            raise _HttpError(400, "lease request needs a 'runner' id")
+        now = time.monotonic()
+        self._runners_seen[runner] = now
+        if self.draining:
+            raise _HttpError(503, "coordinator is draining; no new leases")
+        job_id = self.queue.try_take(chooser=self._affinity_chooser(runner))
+        if job_id is None:
+            return 204, {}, b""
+        job = self.jobs[job_id]
+        job.status = jobstate.RUNNING
+        lease = self.leases.grant(job_id, job.digest, runner, now)
+        job.attempts = lease.attempt
+        self.state.save(job)
+        self.m_jobs.inc(event="leased")
+        return _json_response(200, {
+            "lease_id": lease.id,
+            "job_id": job.id,
+            "spec": job.spec,
+            "digest": job.digest,
+            "ttl": self.leases.ttl,
+            "attempt": lease.attempt,
+        })
+
+    def _route_heartbeat(self, lease_id: str) -> tuple[int, dict, bytes]:
+        now = time.monotonic()
+        lease = self.leases.heartbeat(lease_id, now)
+        if lease is None:
+            return _json_response(410, {
+                "error": f"lease {lease_id!r} expired or settled; abandon the job",
+            })
+        self._runners_seen[lease.runner] = now
+        return _json_response(200, {"lease_id": lease.id, "ttl": self.leases.ttl})
+
+    def _route_complete(
+        self, lease_id: str, body: bytes
+    ) -> tuple[int, dict, bytes]:
+        payload = _parse_json(body)
+        lease = self.leases.complete(lease_id)
+        if lease is None:
+            # The lease expired and the job was redelivered: this result
+            # is a late duplicate.  Determinism makes it *identical* to
+            # the one the redelivered attempt will produce, but only one
+            # attempt may settle the job.
+            return _json_response(410, {
+                "accepted": False,
+                "error": f"lease {lease_id!r} expired; job was redelivered",
+            })
+        self._runners_seen[lease.runner] = time.monotonic()
+        self._absorb_engine_report(lease.runner, payload.get("engine"))
+        job = self.jobs[lease.job_id]
+        job.runner = lease.runner
+        wall = float(payload.get("wall") or 0.0)
+        error = payload.get("error")
+        result = payload.get("result")
+        if error is None and result is None:
+            error = "runner reported neither result nor error"
+        self._job_done(job.id, result, error, wall)
+        self.queue.observe(wall)
+        self.queue.task_done()
+        return _json_response(200, {"accepted": True, "status": job.status})
+
+    def _absorb_engine_report(self, runner: str, report: object) -> None:
+        if not isinstance(report, dict):
+            return
+        counts = self._runner_engine.setdefault(runner, {})
+        for field in ("jobs_run", "hits", "retries", "fallbacks"):
+            try:
+                counts[field] = counts.get(field, 0) + int(report.get(field, 0))
+            except (TypeError, ValueError):
+                continue
+
+    # -- affinity ------------------------------------------------------------
+    def _live_runners(self) -> list[str]:
+        horizon = time.monotonic() - _LIVENESS_TTLS * self.leases.ttl
+        return sorted(
+            runner
+            for runner, seen in self._runners_seen.items()
+            if seen >= horizon
+        )
+
+    def _affinity_chooser(self, runner: str):
+        live = self._live_runners()
+
+        def choose(pending):
+            if len(live) > 1:
+                for job_id in pending:
+                    job = self.jobs.get(job_id)
+                    if job is not None and _owner(job.digest, live) == runner:
+                        return job_id
+            # Work-conserving fallback: owning nothing pending never
+            # means idling while work waits.
+            return pending[0] if pending else None
+
+        return choose
+
+    # -- store proxy ---------------------------------------------------------
+    def _route_store(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict, bytes]:
+        if self.store is None:
+            raise _HttpError(503, "coordinator has no shared store configured")
+        backend = self.store.backend
+        if path == "/v1/store":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            stats = backend.stats()
+            return _json_response(200, {
+                "entries": stats.entries,
+                "total_bytes": stats.total_bytes,
+                "backend": backend.location(),
+            })
+        if path == "/v1/store/prune":
+            if method != "POST":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            removed = backend.prune()
+            self.m_proxy.inc(op="prune", outcome="ok")
+            return _json_response(200, {
+                "entries": removed.entries,
+                "total_bytes": removed.total_bytes,
+            })
+        rest = path[len("/v1/store/"):]
+        if rest.endswith("/quarantine"):
+            key = rest[: -len("/quarantine")]
+            if method != "POST":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            _check_key(key)
+            backend.quarantine(key)
+            self.m_proxy.inc(op="quarantine", outcome="ok")
+            return 204, {}, b""
+        key = rest
+        _check_key(key)
+        if method == "GET":
+            blob = backend.read(key)
+            if blob is None:
+                self.m_proxy.inc(op="get", outcome="miss")
+                raise _HttpError(404, f"no store entry {key[:12]}")
+            self.m_proxy.inc(op="get", outcome="hit")
+            return 200, {"Content-Type": "application/octet-stream"}, blob
+        if method == "PUT":
+            existed = backend.contains(key)
+            try:
+                backend.write(key, body)
+            except OSError as exc:
+                self.m_proxy.inc(op="put", outcome="error")
+                raise _HttpError(500, f"store write failed: {exc}") from None
+            self.m_proxy.inc(op="put", outcome="ok")
+            if existed:
+                self.m_duplicate_puts.inc()
+            return 204, {}, b""
+        raise _HttpError(405, f"{method} not allowed on {path}")
+
+    # -- views ---------------------------------------------------------------
+    def _cluster_view(self) -> dict:
+        now = time.monotonic()
+        active = self.leases.active_by_runner()
+        runners = {}
+        for runner, seen in sorted(self._runners_seen.items()):
+            engine = self._runner_engine.get(runner, {})
+            runners[runner] = {
+                "active_leases": active.get(runner, 0),
+                "granted": self.leases.granted.get(runner, 0),
+                "completed": self.leases.completed.get(runner, 0),
+                "sims": engine.get("jobs_run", 0),
+                "cache_hits": engine.get("hits", 0),
+                "last_seen_seconds": round(now - seen, 3),
+                "live": runner in self._live_runners(),
+            }
+        return {
+            "lease_ttl": self.leases.ttl,
+            "queue_depth": self.queue.depth,
+            "active_leases": len(self.leases),
+            "expirations": self.leases.expirations,
+            "redeliveries": self.leases.redeliveries,
+            "late_completions": self.leases.late_completions,
+            "runners": runners,
+        }
+
+    def _health(self) -> dict:
+        health = super()._health()
+        health["role"] = "coordinator"
+        health["active_leases"] = len(self.leases)
+        health["runners_live"] = len(self._live_runners())
+        return health
+
+
+def _owner(digest: str, live_runners: list[str]) -> str:
+    """Rendezvous hashing: the live runner with the highest score for
+    this digest owns it — stable under runner churn (only keys owned by
+    a departed runner move)."""
+    return max(
+        live_runners,
+        key=lambda runner: hashlib.sha256(
+            f"{digest}:{runner}".encode()
+        ).hexdigest(),
+    )
+
+
+def _check_key(key: str) -> None:
+    if not _KEY_RE.fullmatch(key):
+        raise _HttpError(400, f"malformed store key {key[:40]!r}")
+
+
+def _parse_json(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        decoded = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise _HttpError(400, "request body is not valid JSON") from None
+    if not isinstance(decoded, dict):
+        raise _HttpError(400, "request body must be a JSON object")
+    return decoded
+
+
+def run_coordinator(config: CoordinatorConfig) -> int:
+    """Blocking entry point for ``stfm-sim coordinator``."""
+    service = ClusterCoordinator(config)
+    asyncio.run(service.run())
+    return 0

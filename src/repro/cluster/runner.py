@@ -1,0 +1,225 @@
+"""The cluster runner: lease, execute, heartbeat, report.
+
+A runner is a plain blocking process — no asyncio — looping over::
+
+    POST /v1/leases                 -> a job (or 204: sleep and retry)
+    execute_spec(...)                  the same engine path as `serve`
+    POST /v1/leases/<id>/complete   -> result or error, + engine deltas
+
+While a job executes, a daemon thread heartbeats the lease every
+``ttl / 3`` seconds.  A ``410 Gone`` heartbeat means the lease expired
+(the coordinator redelivered the job): the runner keeps executing —
+the engine path is not interruptible mid-simulation — but its eventual
+completion will be answered 410 and discarded, so nothing it produces
+after losing the lease can reach job state.
+
+Results flow through the shared store, not the completion payload
+alone: by default the runner mounts the coordinator's store proxy
+(:class:`~repro.engine.backends.HttpStoreBackend`), so sub-job results
+land in the shared content-addressed store as they finish.  A
+redelivered job therefore resumes from cache hits — at-least-once
+delivery without duplicate simulation work.
+
+SIGTERM finishes the current job, reports it, and exits; ``kill -9``
+is the lease-expiry path the cluster is designed around.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro import faults
+from repro.engine import session_report
+from repro.engine.backends import HttpStoreBackend
+from repro.engine.store import CacheStore
+from repro.service.client import ServiceClient
+from repro.service.workers import execute_spec
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Everything ``stfm-sim runner`` needs."""
+
+    coordinator: str = "http://127.0.0.1:8765"
+    runner_id: "str | None" = None  # default: <hostname>-<pid>
+    #: "proxy" mounts the coordinator's store over HTTP; any other
+    #: backend location (directory, sqlite file, URL) is used directly;
+    #: None disables the shared store.
+    store: "str | None" = "proxy"
+    engine_jobs: int = 1
+    poll: float = 0.5  # idle sleep between empty lease requests
+    max_jobs: "int | None" = None  # exit after N jobs (tests, batch mode)
+
+    def resolved_id(self) -> str:
+        return self.runner_id or f"{socket.gethostname()}-{os.getpid()}"
+
+
+class ClusterRunner:
+    """One runner process bound to one coordinator."""
+
+    def __init__(self, config: RunnerConfig) -> None:
+        self.config = config
+        self.id = config.resolved_id()
+        self.client = ServiceClient(config.coordinator, timeout=30.0)
+        if config.store == "proxy":
+            self.store: "CacheStore | None" = CacheStore(
+                HttpStoreBackend(config.coordinator)
+            )
+        elif config.store:
+            self.store = CacheStore(config.store)
+        else:
+            self.store = None
+        self._stop = threading.Event()
+        self.jobs_completed = 0
+
+    def request_stop(self) -> None:
+        """Signal-safe: finish the current job, then exit the loop."""
+        self._stop.set()
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> int:
+        """Lease/execute until stopped; returns a process exit code."""
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(sig, lambda *_: self.request_stop())
+            except ValueError:
+                pass  # not the main thread (embedded in tests)
+        print(
+            f"runner {self.id} polling {self.config.coordinator}",
+            flush=True,
+        )
+        idle_sleep = self.config.poll
+        while not self._stop.is_set():
+            lease = self._acquire()
+            if lease is None:
+                self._stop.wait(idle_sleep)
+                continue
+            self._execute(lease)
+            self.jobs_completed += 1
+            if (
+                self.config.max_jobs is not None
+                and self.jobs_completed >= self.config.max_jobs
+            ):
+                break
+        print(
+            f"runner {self.id} stopping after "
+            f"{self.jobs_completed} job(s)",
+            flush=True,
+        )
+        if self.store is not None:
+            self.store.close()
+        return 0
+
+    def _acquire(self) -> "dict | None":
+        """One lease request; None when there is nothing to do (or the
+        coordinator is briefly unreachable/draining)."""
+        try:
+            status, _headers, decoded = self.client.request(
+                "POST", "/v1/leases", body={"runner": self.id}
+            )
+        except OSError:
+            return None
+        if status == 200 and isinstance(decoded, dict):
+            return decoded
+        return None
+
+    # -- execution -----------------------------------------------------------
+    def _execute(self, lease: dict) -> None:
+        lease_id = lease["lease_id"]
+        ttl = float(lease.get("ttl") or 15.0)
+        stop_heartbeat = threading.Event()
+        lost = threading.Event()
+        beater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease_id, ttl, stop_heartbeat, lost),
+            daemon=True,
+        )
+        beater.start()
+        before = session_report().snapshot()
+        started = time.monotonic()
+        result: "dict | None" = None
+        error: "str | None" = None
+        try:
+            # Same crash semantics as the single-process service: an
+            # injected `service` fault takes the whole runner down,
+            # which is exactly the lease-expiry scenario.
+            if faults.fires("service", lease.get("job_id", lease_id)):
+                raise SystemExit("injected service crash")
+            result = execute_spec(
+                lease["spec"],
+                store=self.store,
+                engine_jobs=self.config.engine_jobs,
+            )
+        except SystemExit:
+            raise
+        except BaseException as exc:  # report, don't die: leases must settle
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            stop_heartbeat.set()
+        beater.join(timeout=5.0)
+        wall = time.monotonic() - started
+        delta = session_report().since(before)
+        body = {
+            "runner": self.id,
+            "wall": wall,
+            "engine": {
+                "jobs_run": delta.jobs_run,
+                "hits": delta.hits,
+                "retries": delta.retries,
+                "fallbacks": delta.fallbacks,
+            },
+        }
+        if error is None:
+            body["result"] = result
+        else:
+            body["error"] = error
+        self._report(lease_id, body)
+
+    def _report(self, lease_id: str, body: dict) -> None:
+        """Post the completion; a 410 means the lease expired and the
+        job was redelivered — the payload is correctly discarded.  An
+        unreachable coordinator is retried a few times, then the result
+        is dropped: lease expiry redelivers the job, and the shared
+        store already holds the sub-job results."""
+        for attempt in range(4):
+            try:
+                self.client.request(
+                    "POST", f"/v1/leases/{lease_id}/complete", body=body
+                )
+                return
+            except OSError:
+                time.sleep(0.25 * (attempt + 1))
+        print(
+            f"runner {self.id}: could not report lease {lease_id}; "
+            f"relying on redelivery",
+            flush=True,
+        )
+
+    def _heartbeat_loop(
+        self,
+        lease_id: str,
+        ttl: float,
+        stop: threading.Event,
+        lost: threading.Event,
+    ) -> None:
+        interval = max(0.05, ttl / 3.0)
+        while not stop.wait(interval):
+            try:
+                status, _headers, _decoded = self.client.request(
+                    "POST", f"/v1/leases/{lease_id}/heartbeat"
+                )
+            except OSError:
+                continue  # transient; the next beat may land in time
+            if status == 410:
+                lost.set()
+                return
+
+
+def run_runner(config: RunnerConfig) -> int:
+    """Blocking entry point for ``stfm-sim runner``."""
+    return ClusterRunner(config).run()

@@ -43,10 +43,12 @@ from repro.engine.options import (
     default_cache_dir,
     engine_options,
 )
-from repro.engine.store import ResultStore, StoreStats
+from repro.engine.backends import StoreBackend, create_backend
+from repro.engine.store import CacheStore, ResultStore, StoreStats
 
 __all__ = [
     "AloneJob",
+    "CacheStore",
     "EngineOptions",
     "EngineReport",
     "ExperimentEngine",
@@ -54,10 +56,12 @@ __all__ = [
     "JobExecutor",
     "JobFailedError",
     "ResultStore",
+    "StoreBackend",
     "SharedJob",
     "StoreStats",
     "WorkloadRequest",
     "budget_for",
+    "create_backend",
     "current_options",
     "default_cache_dir",
     "engine_options",

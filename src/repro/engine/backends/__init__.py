@@ -1,0 +1,72 @@
+"""repro.engine.backends — pluggable transports for the result store.
+
+The content-addressed result store is split into a policy layer
+(:class:`repro.engine.store.CacheStore`: checksums, quarantine,
+best-effort writes, hit/miss accounting) and a transport *backend*
+selected by :func:`create_backend` from a location string:
+
+==========================  =============================================
+``/path/to/dir``            :class:`~repro.engine.backends.fs.FsBackend`
+                            (sharded JSON files — the default and the
+                            pre-backend on-disk layout)
+``/path/to/store.sqlite``   :class:`~repro.engine.backends.sqlite
+                            .SqliteBackend` (by ``.sqlite``/``.db``
+                            suffix)
+``sqlite:/path/to/file``    ditto, explicit scheme (``sqlite://...``
+                            also accepted)
+``http://host:port``        :class:`~repro.engine.backends.http
+                            .HttpStoreBackend` — the cluster
+                            coordinator's store proxy
+==========================  =============================================
+
+Every consumer that used to take a cache *directory* (engine options,
+the service, the CLI) now takes any of these, so ``--cache-dir
+sqlite:/tmp/store.sqlite`` works everywhere a path did.
+"""
+
+from __future__ import annotations
+
+from repro.engine.backends.base import StoreBackend, StoreStats
+from repro.engine.backends.fs import QUARANTINE_DIR, FsBackend
+from repro.engine.backends.sqlite import SqliteBackend
+
+__all__ = [
+    "FsBackend",
+    "HttpStoreBackend",
+    "QUARANTINE_DIR",
+    "SqliteBackend",
+    "StoreBackend",
+    "StoreStats",
+    "create_backend",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: the HTTP backend pulls in http.client/urllib, which most
+    # engine consumers (pure local runs) never need.
+    if name == "HttpStoreBackend":
+        from repro.engine.backends.http import HttpStoreBackend
+
+        return HttpStoreBackend
+    raise AttributeError(name)
+
+
+def create_backend(location: "str | StoreBackend") -> StoreBackend:
+    """Build the right backend for a location string (see module doc)."""
+    if isinstance(location, StoreBackend):
+        return location
+    location = str(location)
+    if location.startswith(("http://", "https://")):
+        from repro.engine.backends.http import HttpStoreBackend
+
+        return HttpStoreBackend(location)
+    if location.startswith("sqlite:"):
+        path = location[len("sqlite:"):]
+        if path.startswith("//"):  # sqlite://PATH — tolerate the // form
+            path = path[2:]
+        if not path:
+            raise ValueError(f"sqlite store location {location!r} has no path")
+        return SqliteBackend(path)
+    if location.endswith((".sqlite", ".db")):
+        return SqliteBackend(location)
+    return FsBackend(location)

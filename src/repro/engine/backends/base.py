@@ -1,0 +1,92 @@
+"""The store-backend contract.
+
+A backend is the *transport* half of the result store: it moves opaque
+entry blobs (the JSON envelope ``CacheStore`` builds — payload plus
+checksum) in and out of some medium, keyed by the content hash.  All
+*policy* — checksum verification, quarantine decisions, best-effort
+writes, hit/miss accounting, fault injection — lives above it in
+:class:`repro.engine.store.CacheStore`, so every backend gets identical
+integrity semantics for free and the conformance suite can run one set
+of assertions against all of them.
+
+Three implementations exist:
+
+* :class:`~repro.engine.backends.fs.FsBackend` — sharded directory of
+  ``<sha256>.json`` files (the original layout; the default).
+* :class:`~repro.engine.backends.sqlite.SqliteBackend` — one SQLite
+  file in WAL mode, safe for concurrent runner processes on one host.
+* :class:`~repro.engine.backends.http.HttpStoreBackend` — a client for
+  the cluster coordinator's store proxy, so runners on other machines
+  share one cache.
+
+Error contract: ``read`` returns ``None`` for *any* failure to produce
+bytes (missing entry, I/O error, unreachable proxy) — the caller treats
+it as a miss and re-simulates.  ``write`` raises :class:`OSError` on
+failure so the caller can count a best-effort put error.  ``quarantine``
+and ``prune`` are best-effort and never raise.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Size of (or amount removed from) a result store."""
+
+    entries: int
+    total_bytes: int
+
+
+class StoreBackend(abc.ABC):
+    """Transport for content-addressed entry blobs (see module doc)."""
+
+    #: URL scheme this backend answers to (``fs``, ``sqlite``, ``http``).
+    scheme: str = "?"
+
+    @abc.abstractmethod
+    def read(self, key: str) -> "bytes | None":
+        """Entry blob for ``key``, or None when absent/unreadable."""
+
+    @abc.abstractmethod
+    def write(self, key: str, blob: bytes) -> None:
+        """Atomically persist ``blob`` under ``key``.
+
+        Raises:
+            OSError: when the blob could not be persisted (disk full,
+                read-only medium, unreachable proxy ...).
+        """
+
+    @abc.abstractmethod
+    def quarantine(self, key: str) -> None:
+        """Move ``key``'s entry aside (or drop it) so the next read is
+        a clean miss.  Best-effort: never raises."""
+
+    @abc.abstractmethod
+    def contains(self, key: str) -> bool:
+        """Whether an entry (possibly corrupt) exists for ``key``."""
+
+    @abc.abstractmethod
+    def count(self) -> int:
+        """Number of live (non-quarantined) entries."""
+
+    @abc.abstractmethod
+    def stats(self) -> StoreStats:
+        """Live entry count and total stored bytes."""
+
+    @abc.abstractmethod
+    def prune(self) -> StoreStats:
+        """Delete every entry (quarantined ones too); returns what was
+        removed.  Best-effort: skips what it cannot delete."""
+
+    @abc.abstractmethod
+    def location(self) -> str:
+        """Human-readable ``scheme:where`` string for reports."""
+
+    def close(self) -> None:
+        """Release any held resources (connections).  Optional."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.location()}>"

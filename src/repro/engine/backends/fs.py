@@ -1,0 +1,113 @@
+"""Filesystem store backend: a sharded directory of JSON entries.
+
+The original (and default) layout, unchanged from the pre-backend
+``ResultStore``: entries live at ``<root>/<key[:2]>/<key>.json``, are
+written atomically (tmp + rename) so concurrent engine processes
+sharing one cache directory never observe a torn entry, and corrupt
+entries are preserved under ``<root>/quarantine/`` for inspection.
+Existing cache directories keep working byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.engine.backends.base import StoreBackend, StoreStats
+
+#: Subdirectory of the store root where corrupt entries are preserved.
+QUARANTINE_DIR = "quarantine"
+
+
+class FsBackend(StoreBackend):
+    """Entry blobs as ``<root>/<key[:2]>/<key>.json`` files."""
+
+    scheme = "fs"
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def location(self) -> str:
+        return f"fs:{self.root}"
+
+    def read(self, key: str) -> "bytes | None":
+        try:
+            return self.path(key).read_bytes()
+        except OSError:
+            return None
+
+    def write(self, key: str, blob: bytes) -> None:
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass  # never existed, or raced with cleanup
+            raise
+
+    def quarantine(self, key: str) -> None:
+        path = self.path(key)
+        target = self.root / QUARANTINE_DIR / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # already gone (concurrent reader quarantined it)
+
+    def contains(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def count(self) -> int:
+        return sum(
+            1
+            for path in self.root.glob("*/*.json")
+            if path.parent.name != QUARANTINE_DIR
+        )
+
+    def stats(self) -> StoreStats:
+        entries = 0
+        total = 0
+        for path in self.root.glob("*/*.json"):
+            if path.parent.name == QUARANTINE_DIR:
+                continue
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return StoreStats(entries=entries, total_bytes=total)
+
+    def prune(self) -> StoreStats:
+        removed = 0
+        freed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # not empty (concurrent writer) — keep it
+        return StoreStats(entries=removed, total_bytes=freed)

@@ -1,0 +1,133 @@
+"""HTTP store backend: a client for the coordinator's store proxy.
+
+Remote runners cannot mount the coordinator's cache directory, so the
+cluster coordinator serves its own store over five tiny endpoints
+(see :mod:`repro.cluster.coordinator`)::
+
+    GET  /v1/store/<key>             entry blob        200 | 404
+    PUT  /v1/store/<key>             persist blob      204
+    POST /v1/store/<key>/quarantine  move entry aside  204
+    GET  /v1/store                   stats JSON        200
+    POST /v1/store/prune             delete everything 200 (removed stats)
+
+This backend is deliberately *not* built on
+:class:`repro.service.client.ServiceClient` — the engine must not
+import the service package (the service imports the engine) — so it
+carries its own minimal ``http.client`` plumbing.
+
+Failure semantics match the backend contract: an unreachable proxy
+turns reads into misses (the runner re-simulates; the shared cache is
+an optimization, never a dependency) and writes into :class:`OSError`
+(counted as best-effort put errors by the policy layer).  Reads are
+retried once on connection errors to ride out a coordinator restart.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+
+from repro.engine.backends.base import StoreBackend, StoreStats
+
+
+class HttpStoreBackend(StoreBackend):
+    """Entry blobs proxied to a cluster coordinator over HTTP."""
+
+    scheme = "http"
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 1,
+        backoff: float = 0.1,
+    ) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError("only http:// store URLs are supported")
+        self.base_url = base_url
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8765
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    def location(self) -> str:
+        return f"http://{self.host}:{self.port}/v1/store"
+
+    # -- wire plumbing -------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: "bytes | None" = None,
+        retriable: bool = True,
+    ) -> "tuple[int, bytes]":
+        """One request with bounded connection-error retries.
+
+        GETs (and the idempotent PUT of a content-addressed blob) are
+        safe to retry; the last error propagates as OSError.
+        """
+        last: "Exception | None" = None
+        for attempt in range(1, self.retries + 2):
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request(method, path, body=body)
+                response = conn.getresponse()
+                return response.status, response.read()
+            except OSError as exc:
+                last = exc
+                if not retriable or attempt > self.retries:
+                    raise
+                time.sleep(self.backoff * attempt)
+            finally:
+                conn.close()
+        raise OSError(f"store proxy unreachable: {last}")  # pragma: no cover
+
+    # -- backend contract ----------------------------------------------------
+    def read(self, key: str) -> "bytes | None":
+        try:
+            status, body = self._request("GET", f"/v1/store/{key}")
+        except OSError:
+            return None  # unreachable proxy is a miss, not a failure
+        return body if status == 200 else None
+
+    def write(self, key: str, blob: bytes) -> None:
+        status, body = self._request("PUT", f"/v1/store/{key}", body=blob)
+        if status not in (200, 204):
+            raise OSError(
+                f"store proxy rejected put for {key[:12]}: HTTP {status} "
+                f"{body[:120]!r}"
+            )
+
+    def quarantine(self, key: str) -> None:
+        try:
+            self._request("POST", f"/v1/store/{key}/quarantine")
+        except OSError:
+            pass  # best-effort; the coordinator may be briefly away
+
+    def contains(self, key: str) -> bool:
+        return self.read(key) is not None
+
+    def _stats_payload(self, method: str, path: str) -> StoreStats:
+        try:
+            status, body = self._request(method, path)
+            if status != 200:
+                return StoreStats(entries=0, total_bytes=0)
+            decoded = json.loads(body.decode("utf-8"))
+            return StoreStats(
+                entries=int(decoded["entries"]),
+                total_bytes=int(decoded["total_bytes"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return StoreStats(entries=0, total_bytes=0)
+
+    def count(self) -> int:
+        return self._stats_payload("GET", "/v1/store").entries
+
+    def stats(self) -> StoreStats:
+        return self._stats_payload("GET", "/v1/store")
+
+    def prune(self) -> StoreStats:
+        return self._stats_payload("POST", "/v1/store/prune")

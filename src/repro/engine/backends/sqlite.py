@@ -1,0 +1,163 @@
+"""SQLite store backend: one file, WAL mode, multi-process safe.
+
+All entries land in a single ``.sqlite`` file, which makes the store a
+unit — one artifact to copy, back up, or point N runner processes on
+the same host at.  WAL journaling gives single-writer/multi-reader
+concurrency without reader stalls, and a generous busy timeout absorbs
+writer contention between runners (every write is a single upsert, so
+transactions are short).
+
+Connections are per-thread (SQLite connections must not be shared
+across threads without serializing): each thread lazily opens and
+caches its own handle, and forked engine workers get fresh handles
+because the cache is keyed by pid as well.
+
+SQLite errors on the write path surface as :class:`OSError` so the
+policy layer's best-effort ``put`` semantics apply uniformly: a locked
+or full database is counted and logged, never fatal.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.engine.backends.base import StoreBackend, StoreStats
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    key    TEXT PRIMARY KEY,
+    nbytes INTEGER NOT NULL,
+    blob   BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS quarantine (
+    seq  INTEGER PRIMARY KEY AUTOINCREMENT,
+    key  TEXT NOT NULL,
+    blob BLOB NOT NULL
+);
+"""
+
+
+class SqliteBackend(StoreBackend):
+    """Entry blobs in a single WAL-mode SQLite file."""
+
+    scheme = "sqlite"
+
+    def __init__(self, path: "str | Path", timeout: float = 30.0) -> None:
+        self.path = Path(path).expanduser()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.timeout = timeout
+        self._local = threading.local()
+        with self._guarded() as conn:
+            conn.executescript(_SCHEMA)
+
+    # -- connection plumbing -------------------------------------------------
+    def _conn(self) -> sqlite3.Connection:
+        """This thread's connection (fresh after fork: keyed by pid)."""
+        pid = os.getpid()
+        conn = getattr(self._local, "conn", None)
+        if conn is None or getattr(self._local, "pid", None) != pid:
+            conn = sqlite3.connect(
+                str(self.path), timeout=self.timeout, isolation_level=None
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={int(self.timeout * 1000)}")
+            self._local.conn = conn
+            self._local.pid = pid
+        return conn
+
+    def _guarded(self) -> sqlite3.Connection:
+        """A connection whose sqlite errors surface as OSError."""
+        try:
+            return self._conn()
+        except sqlite3.Error as exc:
+            raise OSError(f"sqlite store unavailable: {exc}") from exc
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def location(self) -> str:
+        return f"sqlite:{self.path}"
+
+    # -- backend contract ----------------------------------------------------
+    def read(self, key: str) -> "bytes | None":
+        try:
+            row = self._conn().execute(
+                "SELECT blob FROM entries WHERE key = ?", (key,)
+            ).fetchone()
+        except (sqlite3.Error, OSError):
+            return None
+        return bytes(row[0]) if row else None
+
+    def write(self, key: str, blob: bytes) -> None:
+        try:
+            self._guarded().execute(
+                "INSERT OR REPLACE INTO entries (key, nbytes, blob) "
+                "VALUES (?, ?, ?)",
+                (key, len(blob), sqlite3.Binary(blob)),
+            )
+        except sqlite3.Error as exc:
+            raise OSError(f"sqlite store write failed: {exc}") from exc
+
+    def quarantine(self, key: str) -> None:
+        try:
+            conn = self._conn()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                conn.execute(
+                    "INSERT INTO quarantine (key, blob) "
+                    "SELECT key, blob FROM entries WHERE key = ?",
+                    (key,),
+                )
+                conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        except (sqlite3.Error, OSError):
+            pass  # best-effort; a locked db just delays the quarantine
+
+    def contains(self, key: str) -> bool:
+        try:
+            row = self._conn().execute(
+                "SELECT 1 FROM entries WHERE key = ?", (key,)
+            ).fetchone()
+        except (sqlite3.Error, OSError):
+            return False
+        return row is not None
+
+    def count(self) -> int:
+        try:
+            row = self._conn().execute(
+                "SELECT COUNT(*) FROM entries"
+            ).fetchone()
+        except (sqlite3.Error, OSError):
+            return 0
+        return int(row[0])
+
+    def stats(self) -> StoreStats:
+        try:
+            row = self._conn().execute(
+                "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) FROM entries"
+            ).fetchone()
+        except (sqlite3.Error, OSError):
+            return StoreStats(entries=0, total_bytes=0)
+        return StoreStats(entries=int(row[0]), total_bytes=int(row[1]))
+
+    def prune(self) -> StoreStats:
+        try:
+            conn = self._guarded()
+            row = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) FROM entries"
+            ).fetchone()
+            conn.execute("DELETE FROM entries")
+            conn.execute("DELETE FROM quarantine")
+        except (sqlite3.Error, OSError):
+            return StoreStats(entries=0, total_bytes=0)
+        return StoreStats(entries=int(row[0]), total_bytes=int(row[1]))

@@ -1,24 +1,33 @@
-"""Content-addressed on-disk result store.
+"""Content-addressed result store: integrity policy over a backend.
 
 Payloads are filed under the SHA-256 of the job's canonical key (see
-``jobs.cache_key``): the filename *is* the identity, so two runners — in
-different processes, or days apart — that build the same job read and
-write the same entry, and any change to an input (seed, budget, policy
-kwargs, memory timing ...) lands on a different file instead of
-poisoning an old one.
+``jobs.cache_key``): the key *is* the identity, so two runners — in
+different processes, on different hosts, or days apart — that build the
+same job read and write the same entry, and any change to an input
+(seed, budget, policy kwargs, memory timing ...) lands on a different
+entry instead of poisoning an old one.
 
-Entries are small JSON files sharded by hash prefix, written atomically
-(tmp + rename) so concurrent engine processes sharing one cache
-directory never observe a torn entry.  Integrity is verified end to
-end: every entry carries a SHA-256 checksum of its payload, written on
-``put`` and checked on ``get`` — a corrupt entry (torn JSON, bit rot,
-a checksum mismatch, a missing ``payload``) counts as a miss and is
-*quarantined* to ``<root>/quarantine/`` rather than deleted, so the
-evidence survives for inspection while the job simply re-simulates.
+Since the cluster PR the store is split in two:
 
-Writes are best-effort: a ``put`` that fails with ``OSError`` (disk
-full, read-only mount, I/O error) is counted and logged, never raised —
-a full disk must not discard a simulation that already succeeded.
+* :class:`CacheStore` (this module) is the *policy* layer every
+  consumer talks to.  It owns the entry envelope (payload + SHA-256
+  checksum written on ``put`` and verified on ``get``), quarantines
+  corrupt entries rather than deleting them, downgrades write failures
+  to counted warnings (a full disk must not discard a simulation that
+  already succeeded), and keeps the ``hits`` / ``misses`` /
+  ``quarantined`` / ``put_errors`` counters that make cross-client
+  dedup observable in ``/metrics``.
+
+* a :class:`~repro.engine.backends.StoreBackend` moves the opaque entry
+  blobs: sharded JSON files (default), a WAL-mode SQLite file, or the
+  cluster coordinator's HTTP store proxy — chosen by
+  :func:`~repro.engine.backends.create_backend` from the location
+  string, so ``CacheStore("~/.cache/stfm-sim")``,
+  ``CacheStore("sqlite:/tmp/store.sqlite")`` and
+  ``CacheStore("http://coordinator:8765")`` behave identically.
+
+``ResultStore`` remains as an alias of :class:`CacheStore` for existing
+imports.
 """
 
 from __future__ import annotations
@@ -26,18 +35,27 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-import os
-import tempfile
 import threading
-from dataclasses import dataclass
 from pathlib import Path
 
 from repro import faults
+from repro.engine.backends import (
+    QUARANTINE_DIR,
+    FsBackend,
+    StoreBackend,
+    StoreStats,
+    create_backend,
+)
+
+__all__ = [
+    "CacheStore",
+    "QUARANTINE_DIR",
+    "ResultStore",
+    "StoreStats",
+    "payload_checksum",
+]
 
 _log = logging.getLogger("repro.engine.store")
-
-#: Subdirectory of the store root where corrupt entries are preserved.
-QUARANTINE_DIR = "quarantine"
 
 
 def payload_checksum(payload: dict) -> str:
@@ -46,37 +64,60 @@ def payload_checksum(payload: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-@dataclass(frozen=True)
-class StoreStats:
-    """Size of (or amount removed from) a result store."""
-
-    entries: int
-    total_bytes: int
-
-
-class ResultStore:
-    """A directory of ``<sha256>.json`` job payloads.
+class CacheStore:
+    """Checksummed job payloads over a pluggable backend.
 
     One store instance may be shared by concurrent consumers (the
     simulation service hands the same object to every worker thread):
-    reads and writes go straight to the filesystem, and the ``hits`` /
+    reads and writes go straight to the backend, and the ``hits`` /
     ``misses`` / ``quarantined`` / ``put_errors`` counters are updated
     under a lock so cross-client cache behaviour can be observed
     accurately.
+
+    Args:
+        location: A backend location string — a directory (sharded-file
+            store, the default), a ``sqlite:`` path or ``.sqlite`` file,
+            or an ``http://`` store-proxy URL — or an already-built
+            :class:`~repro.engine.backends.StoreBackend`.
     """
 
-    def __init__(self, root: "str | Path") -> None:
-        self.root = Path(root).expanduser()
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(self, location: "str | Path | StoreBackend") -> None:
+        self.backend = create_backend(
+            location if isinstance(location, StoreBackend) else str(location)
+        )
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
         self.put_errors = 0
         self._lock = threading.Lock()
 
-    def _path(self, cache_key: str) -> Path:
-        return self.root / cache_key[:2] / f"{cache_key}.json"
+    # -- filesystem-compat helpers (tests, tooling) --------------------------
+    @property
+    def root(self) -> Path:
+        """The store directory — filesystem backend only."""
+        backend = self.backend
+        if not isinstance(backend, FsBackend):
+            raise AttributeError(
+                f"store backend {backend.location()} has no root directory"
+            )
+        return backend.root
 
+    def _path(self, cache_key: str) -> Path:
+        """On-disk path of an entry — filesystem backend only."""
+        backend = self.backend
+        if not isinstance(backend, FsBackend):
+            raise AttributeError(
+                f"store backend {backend.location()} has no entry paths"
+            )
+        return backend.path(cache_key)
+
+    def location(self) -> str:
+        return self.backend.location()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    # -- counters ------------------------------------------------------------
     def _count(self, hit: bool) -> None:
         with self._lock:
             if hit:
@@ -84,25 +125,18 @@ class ResultStore:
             else:
                 self.misses += 1
 
-    def _quarantine(self, path: Path, cache_key: str, reason: str) -> None:
-        """Move a corrupt entry aside (fall back to deleting it) so the
-        next ``get`` is a clean miss instead of a repeated parse error."""
-        target = self.root / QUARANTINE_DIR / path.name
-        try:
-            target.parent.mkdir(parents=True, exist_ok=True)
-            os.replace(path, target)
-        except OSError:
-            try:
-                path.unlink()
-            except OSError:
-                pass  # already gone (concurrent reader quarantined it)
+    def _quarantine(self, cache_key: str, reason: str) -> None:
+        """Move a corrupt entry aside so the next ``get`` is a clean
+        miss instead of a repeated parse error."""
+        self.backend.quarantine(cache_key)
         with self._lock:
             self.quarantined += 1
         _log.warning(
-            "quarantined corrupt store entry %s (%s): %s",
-            cache_key[:12], reason, target,
+            "quarantined corrupt store entry %s (%s) in %s",
+            cache_key[:12], reason, self.backend.location(),
         )
 
+    # -- store API -----------------------------------------------------------
     def get(self, cache_key: str) -> "dict | None":
         """Payload for a key, or None on miss.
 
@@ -110,13 +144,8 @@ class ResultStore:
         payload that no longer matches its recorded checksum — is
         quarantined and reported as a miss.
         """
-        path = self._path(cache_key)
-        try:
-            raw = path.read_bytes()
-        except FileNotFoundError:
-            self._count(hit=False)
-            return None
-        except OSError:
+        raw = self.backend.read(cache_key)
+        if raw is None:
             self._count(hit=False)
             return None
         if faults.fires("corrupt", cache_key):
@@ -125,85 +154,40 @@ class ResultStore:
             entry = json.loads(raw.decode("utf-8"))
             payload = entry["payload"]
         except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
-            self._quarantine(path, cache_key, f"{type(exc).__name__}: {exc}")
+            self._quarantine(cache_key, f"{type(exc).__name__}: {exc}")
             self._count(hit=False)
             return None
         recorded = entry.get("sha256")
         if recorded is not None and recorded != payload_checksum(payload):
-            self._quarantine(path, cache_key, "payload checksum mismatch")
+            self._quarantine(cache_key, "payload checksum mismatch")
             self._count(hit=False)
             return None
         self._count(hit=True)
         return payload
 
-    def stats(self) -> StoreStats:
-        """Entry count and total payload bytes currently on disk
-        (quarantined entries excluded)."""
-        entries = 0
-        total = 0
-        for path in self.root.glob("*/*.json"):
-            if path.parent.name == QUARANTINE_DIR:
-                continue
-            try:
-                total += path.stat().st_size
-            except OSError:
-                continue
-            entries += 1
-        return StoreStats(entries=entries, total_bytes=total)
-
-    def prune(self) -> StoreStats:
-        """Delete every entry (quarantined ones too); returns what was
-        removed."""
-        removed = 0
-        freed = 0
-        for path in self.root.glob("*/*.json"):
-            try:
-                size = path.stat().st_size
-                path.unlink()
-            except OSError:
-                continue
-            removed += 1
-            freed += size
-        for shard in self.root.glob("*"):
-            if shard.is_dir():
-                try:
-                    shard.rmdir()
-                except OSError:
-                    pass  # not empty (concurrent writer) — keep it
-        return StoreStats(entries=removed, total_bytes=freed)
-
     def put(self, cache_key: str, payload: dict, describe: str = "",
             kind: str = "") -> bool:
         """Atomically persist a payload under its key (best-effort).
 
-        Returns True when the entry landed on disk.  An ``OSError``
-        (disk full, read-only directory, I/O error) is downgraded to a
-        counted warning — by the time ``put`` runs the simulation has
-        already succeeded, and losing the *cache* entry must not fail
-        the batch.  Non-I/O errors (an unserializable payload) still
-        propagate: those are bugs.
+        Returns True when the entry landed in the backend.  An
+        ``OSError`` (disk full, read-only directory, unreachable store
+        proxy) is downgraded to a counted warning — by the time ``put``
+        runs the simulation has already succeeded, and losing the
+        *cache* entry must not fail the batch.  Non-I/O errors (an
+        unserializable payload) still propagate: those are bugs.
         """
-        path = self._path(cache_key)
         entry = {
             "kind": kind,
             "describe": describe,
             "sha256": payload_checksum(payload),
             "payload": payload,
         }
-        tmp = None
+        blob = json.dumps(entry).encode("utf-8")
         try:
             if faults.fires("write", cache_key):
                 raise OSError(28, "injected ENOSPC")  # errno.ENOSPC
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=".json"
-            )
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle)
-            os.replace(tmp, path)
-            tmp = None
+            self.backend.write(cache_key, blob)
         except OSError as exc:
-            self._discard_tmp(tmp)
             with self._lock:
                 self.put_errors += 1
             _log.warning(
@@ -211,25 +195,25 @@ class ResultStore:
                 cache_key[:12], describe or kind or "entry", exc,
             )
             return False
-        except BaseException:
-            self._discard_tmp(tmp)
-            raise
         return True
 
-    @staticmethod
-    def _discard_tmp(tmp: "str | None") -> None:
-        if tmp is not None:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass  # never existed, or raced with cleanup
+    def stats(self) -> StoreStats:
+        """Entry count and total entry bytes currently stored
+        (quarantined entries excluded) — identical schema for every
+        backend."""
+        return self.backend.stats()
+
+    def prune(self) -> StoreStats:
+        """Delete every entry (quarantined ones too); returns what was
+        removed."""
+        return self.backend.prune()
 
     def __contains__(self, cache_key: str) -> bool:
-        return self._path(cache_key).exists()
+        return self.backend.contains(cache_key)
 
     def __len__(self) -> int:
-        return sum(
-            1
-            for path in self.root.glob("*/*.json")
-            if path.parent.name != QUARANTINE_DIR
-        )
+        return self.backend.count()
+
+
+#: Pre-cluster name, kept for existing imports.
+ResultStore = CacheStore

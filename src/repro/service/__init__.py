@@ -18,7 +18,9 @@ submit experiment and workload specs to one shared engine:
 
 Run it as ``stfm-sim serve``; talk to it with
 :class:`~repro.service.client.ServiceClient` or the ``stfm-sim submit``
-and ``stfm-sim status`` CLI verbs.
+and ``stfm-sim status`` CLI verbs.  For multi-process scale-out — a
+coordinator leasing jobs to N runner processes over HTTP — see
+:mod:`repro.cluster`.
 """
 
 from repro.service.api import JobSpec, SpecError, parse_spec, spec_digest

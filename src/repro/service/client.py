@@ -14,6 +14,14 @@ The client is hardened for flaky transport: idempotent GETs are retried
 with exponential backoff on connection errors, and 429 responses are
 retried honoring the server's ``Retry-After`` — both bounded by the
 ``retries`` budget, after which the original error propagates.
+
+``POST /v1/jobs`` is retried too: :meth:`ServiceClient.submit` stamps
+every submission with an ``Idempotency-Key`` header — the spec digest
+plus a per-call nonce — that the server dedups on, so a POST whose
+response was lost can be resent without creating a duplicate job.  The
+nonce makes the key identify the *submission attempt*: retries of one
+``submit()`` call land on one job, while a deliberate resubmission of
+the same spec later is a fresh attempt and may create a fresh job.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import http.client
 import json
 import time
 import urllib.parse
+import uuid
 
 from repro import faults
 
@@ -79,14 +88,15 @@ class ServiceClient:
 
     # -- low-level ----------------------------------------------------------
     def _request_once(
-        self, method: str, path: str, body: "dict | None" = None
+        self, method: str, path: str, body: "dict | None" = None,
+        headers: "dict | None" = None,
     ) -> tuple[int, dict, "dict | str"]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             payload = None
-            headers = {}
+            headers = dict(headers or {})
             if body is not None:
                 payload = json.dumps(body).encode()
                 headers["Content-Type"] = "application/json"
@@ -104,60 +114,90 @@ class ServiceClient:
             conn.close()
 
     def request(
-        self, method: str, path: str, body: "dict | None" = None
+        self, method: str, path: str, body: "dict | None" = None,
+        headers: "dict | None" = None, idempotent: bool = False,
     ) -> tuple[int, dict, "dict | str"]:
         """One logical round trip → (status, headers, decoded body).
 
         JSON bodies decode to dicts; anything else (``/metrics``) comes
         back as text.  No status is raised here — the typed helpers
         below do that.  Connection errors are retried (with exponential
-        backoff) only for GETs, which are idempotent; a dropped POST
-        may already have been admitted, so it propagates immediately.
-        An injected ``drop`` fault fires *before* the bytes leave, so
-        it is safely retriable for any method.
+        backoff) for GETs and for requests marked ``idempotent`` — a
+        POST carrying an ``Idempotency-Key`` the server dedups on is
+        safe to resend even when the first attempt may have been
+        admitted.  A dropped POST *without* such a key propagates
+        immediately.  An injected ``drop`` fault fires *before* the
+        bytes leave, so it is safely retriable for any method.
         """
         for attempt in range(1, self.retries + 2):
             try:
                 if faults.fires("drop", f"{method} {path} #{attempt}"):
                     raise _InjectedDrop("injected connection drop")
-                return self._request_once(method, path, body)
+                return self._request_once(method, path, body, headers)
             except _InjectedDrop:
                 if attempt > self.retries:
                     raise ConnectionError(
                         "injected connection drop (retries exhausted)"
                     ) from None
             except OSError:
-                if method != "GET" or attempt > self.retries:
+                if (method != "GET" and not idempotent) or attempt > self.retries:
                     raise
             time.sleep(self.backoff * (2 ** (attempt - 1)))
         raise AssertionError("unreachable")  # loop always returns or raises
 
-    def _checked(self, method: str, path: str, body=None, ok=(200, 202)):
+    def _checked(self, method: str, path: str, body=None, ok=(200, 202),
+                 headers=None, idempotent=False):
         for attempt in range(1, self.retries + 2):
-            status, headers, decoded = self.request(method, path, body)
+            status, headers_out, decoded = self.request(
+                method, path, body, headers=headers, idempotent=idempotent
+            )
             if status != 429 or attempt > self.retries:
                 break
-            retry_after = int(headers.get("retry-after", "1"))
+            retry_after = int(headers_out.get("retry-after", "1"))
             time.sleep(min(max(retry_after, 0), 5.0))
         if status in ok:
-            return status, headers, decoded
+            return status, headers_out, decoded
         message = (
             decoded.get("error", str(decoded))
             if isinstance(decoded, dict)
             else str(decoded)
         )
         if status == 429:
-            retry_after = int(headers.get("retry-after", "1"))
+            retry_after = int(headers_out.get("retry-after", "1"))
             raise BackpressureError(retry_after, message)
         raise ServiceError(status, message)
 
     # -- API ----------------------------------------------------------------
-    def submit(self, spec: dict) -> dict:
+    def idempotency_key(self, spec: dict) -> "str | None":
+        """The ``Idempotency-Key`` for one submission attempt of ``spec``:
+        the spec digest plus a fresh nonce.  None when the spec does not
+        validate locally — the server then rejects it with 400 as before.
+        """
+        from repro.service.api import SpecError, parse_spec, spec_digest
+
+        try:
+            digest = spec_digest(parse_spec(spec))
+        except SpecError:
+            return None
+        return f"{digest}-{uuid.uuid4().hex[:12]}"
+
+    def submit(self, spec: dict, idempotency_key: "str | None" = None) -> dict:
         """POST a job spec; returns the admission view (``id``,
         ``status``, ``deduplicated``).  Raises :class:`BackpressureError`
-        on 429 and :class:`ServiceError` on 400/503."""
+        on 429 and :class:`ServiceError` on 400/503.
+
+        Every call stamps an ``Idempotency-Key`` (spec digest + nonce)
+        so connection-error retries — including a POST whose response
+        was lost after the server admitted the job — resolve to the
+        *same* job instead of submitting a duplicate.  Pass
+        ``idempotency_key`` explicitly to resume a specific prior
+        attempt.
+        """
+        key = idempotency_key or self.idempotency_key(spec)
+        headers = {"Idempotency-Key": key} if key else None
         _status, _headers, decoded = self._checked(
-            "POST", "/v1/jobs", body=spec
+            "POST", "/v1/jobs", body=spec, headers=headers,
+            idempotent=key is not None,
         )
         return decoded
 

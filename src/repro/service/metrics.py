@@ -96,6 +96,27 @@ class Gauge(Metric):
 
 
 @dataclass
+class MultiGauge(Metric):
+    """Gauge family whose labelled samples come from one callback.
+
+    The callback returns ``(labels, value)`` pairs at scrape time —
+    how the coordinator exposes per-runner series (active leases,
+    completions) without registering a metric per runner.
+    """
+
+    mtype: str = "gauge"
+    read: "Callable[[], Iterable[tuple[dict, float]]] | None" = None
+
+    def samples(self):
+        if self.read is None:
+            return []
+        return [
+            (self.name, dict(labels), float(value))
+            for labels, value in self.read()
+        ]
+
+
+@dataclass
 class Summary(Metric):
     """``_sum``/``_count`` pair (a label-less Prometheus summary)."""
 
@@ -127,6 +148,14 @@ class MetricsRegistry:
         self, name: str, help: str, read: "Callable[[], float] | None" = None
     ) -> Gauge:
         return self._add(Gauge(name=name, help=help, read=read))
+
+    def multi_gauge(
+        self,
+        name: str,
+        help: str,
+        read: "Callable[[], Iterable[tuple[dict, float]]] | None" = None,
+    ) -> MultiGauge:
+        return self._add(MultiGauge(name=name, help=help, read=read))
 
     def summary(self, name: str, help: str) -> Summary:
         return self._add(Summary(name=name, help=help))

@@ -1,4 +1,4 @@
-"""Bounded admission queue with backpressure.
+"""Bounded admission queue with backpressure and targeted takes.
 
 The service never buffers unbounded work: admission happens on the
 event loop (single-threaded, so check-then-put is race-free), and a
@@ -6,11 +6,22 @@ full queue rejects the submission — the HTTP layer turns that into
 ``429 Too Many Requests`` with a ``Retry-After`` estimate derived from
 observed job wall times.  Clients that honor the hint converge on the
 service's actual throughput instead of timing out deep in a queue.
+
+Two consumers drain the queue: the in-process worker pool ``await``\\ s
+:meth:`AdmissionQueue.get` (the single-process ``serve`` path), while
+the cluster coordinator grants leases synchronously on lease requests
+via :meth:`AdmissionQueue.try_take` — which may pick a *specific*
+pending job (cache-affinity routing by spec digest), not just the head.
+:meth:`AdmissionQueue.requeue` returns an expired lease's job to the
+front without re-counting it, so :meth:`join` still means "every
+admitted job reached a terminal state exactly once".
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import deque
+from typing import Callable, Sequence
 
 
 class QueueFullError(Exception):
@@ -22,25 +33,39 @@ class QueueFullError(Exception):
 
 
 class AdmissionQueue:
-    """An ``asyncio.Queue`` of job ids with explicit admission control."""
+    """A deque of job ids with explicit admission control.
+
+    Built on a deque plus a wake-up token queue (rather than a plain
+    ``asyncio.Queue``) so synchronous consumers can remove arbitrary
+    pending entries while async consumers block on :meth:`get`.
+    """
 
     def __init__(self, limit: int) -> None:
         if limit < 1:
             raise ValueError("queue limit must be at least 1")
         self.limit = limit
-        self._queue: asyncio.Queue[str] = asyncio.Queue(maxsize=limit)
+        self._pending: deque[str] = deque()
+        self._signal: asyncio.Queue = asyncio.Queue()
+        self._unfinished = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
         # Wall-time bookkeeping for the Retry-After estimate.
         self._completed = 0
         self._total_seconds = 0.0
 
     @property
     def depth(self) -> int:
-        """Jobs admitted but not yet picked up by a worker."""
-        return self._queue.qsize()
+        """Jobs admitted but not yet picked up by a consumer."""
+        return len(self._pending)
 
     @property
     def full(self) -> bool:
-        return self._queue.full()
+        return len(self._pending) >= self.limit
+
+    @property
+    def unfinished(self) -> int:
+        """Admitted jobs that have not been marked done yet."""
+        return self._unfinished
 
     def submit(self, job_id: str, inflight: int = 0) -> None:
         """Admit a job id, or raise :class:`QueueFullError`.
@@ -50,9 +75,19 @@ class AdmissionQueue:
             inflight: Currently-executing jobs, folded into the
                 Retry-After estimate of a rejection.
         """
-        if self._queue.full():
+        if self.full:
             raise QueueFullError(self.retry_after(inflight))
-        self._queue.put_nowait(job_id)
+        self._pending.append(job_id)
+        self._unfinished += 1
+        self._idle.clear()
+        self._signal.put_nowait(None)
+
+    def requeue(self, job_id: str) -> None:
+        """Put a previously-taken job back at the *front* (redelivery
+        after a lease expired).  Does not re-count it: ``join`` still
+        waits for exactly one completion per admission."""
+        self._pending.appendleft(job_id)
+        self._signal.put_nowait(None)
 
     def retry_after(self, inflight: int = 0) -> int:
         """Seconds until a queue slot plausibly frees up.
@@ -72,10 +107,49 @@ class AdmissionQueue:
         self._total_seconds += wall_seconds
 
     async def get(self) -> str:
-        return await self._queue.get()
+        """Wait for (and remove) the oldest pending job id."""
+        while True:
+            await self._signal.get()
+            if self._pending:
+                return self._pending.popleft()
+            # A sync consumer stole the entry this token announced;
+            # go back to waiting.
+
+    def try_take(
+        self,
+        chooser: "Callable[[Sequence[str]], str | None] | None" = None,
+    ) -> "str | None":
+        """Remove and return one pending job id without waiting.
+
+        Args:
+            chooser: Given the pending ids (oldest first), returns the
+                one to take — or None to take nothing.  Defaults to the
+                oldest.
+
+        Returns:
+            The taken job id, or None when nothing (acceptable) is
+            pending.
+        """
+        if not self._pending:
+            return None
+        if chooser is None:
+            return self._pending.popleft()
+        pick = chooser(tuple(self._pending))
+        if pick is None:
+            return None
+        try:
+            self._pending.remove(pick)
+        except ValueError:
+            return None
+        return pick
 
     def task_done(self) -> None:
-        self._queue.task_done()
+        """One admitted job reached a terminal state."""
+        if self._unfinished > 0:
+            self._unfinished -= 1
+        if self._unfinished == 0:
+            self._idle.set()
 
     async def join(self) -> None:
-        await self._queue.join()
+        """Wait until every admitted job has been marked done."""
+        await self._idle.wait()

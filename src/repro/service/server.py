@@ -40,13 +40,13 @@ from repro.service.workers import WorkerPool, execute_spec
 
 _MAX_REQUEST_LINE = 8192
 _MAX_HEADERS = 100
-_MAX_BODY = 1 << 20
+_MAX_BODY = 8 << 20  # store-proxy entry blobs ride POST/PUT bodies too
 
 _STATUS_TEXT = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    200: "OK", 202: "Accepted", 204: "No Content", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 410: "Gone",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
@@ -75,6 +75,7 @@ class SimulationService:
         self.state = JobStore(config.state_dir)
         self.jobs: dict[str, Job] = {}
         self._active_by_digest: dict[str, str] = {}
+        self._by_idempotency: dict[str, str] = {}
         self._seq = 0
         self.queue = AdmissionQueue(config.queue_limit)
         self.pool = WorkerPool(
@@ -176,6 +177,10 @@ class SimulationService:
             "Faults fired by the STFM_SIM_FAULTS injection layer.",
             read=faults.injected_total,
         )
+        self._register_extra_metrics(m)
+
+    def _register_extra_metrics(self, m: MetricsRegistry) -> None:
+        """Subclass hook: add metrics (the cluster coordinator does)."""
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -184,6 +189,8 @@ class SimulationService:
         for job in jobs:
             self.jobs[job.id] = job
             self._seq = max(self._seq, job.seq)
+            if job.idempotency_key:
+                self._by_idempotency[job.idempotency_key] = job.id
         self.pool.start()
         for job in requeue:
             self._active_by_digest[job.digest] = job.id
@@ -257,14 +264,29 @@ class SimulationService:
             del self._active_by_digest[job.digest]
         self.state.save(job)
 
-    def _submit(self, raw_spec: object) -> tuple[int, dict]:
+    def _submit(
+        self, raw_spec: object, idempotency_key: "str | None" = None
+    ) -> tuple[int, dict]:
         spec = parse_spec(raw_spec)  # SpecError → 400 (handled by caller)
         normalized = spec.normalized()
         digest = spec_digest(normalized)
+        if idempotency_key is not None:
+            # A retried POST (response lost, connection dropped) carries
+            # the same key as the original attempt and must land on the
+            # job that attempt created — even if it finished meanwhile.
+            known = self._by_idempotency.get(idempotency_key)
+            if known is not None and known in self.jobs:
+                self.m_jobs.inc(event="idempotent_replay")
+                view = self.jobs[known].view()
+                view["deduplicated"] = True
+                return 200, view
         active = self._active_by_digest.get(digest)
         if active is not None:
             self.m_jobs.inc(event="coalesced")
-            view = self.jobs[active].view()
+            job = self.jobs[active]
+            if idempotency_key is not None:
+                self._by_idempotency[idempotency_key] = job.id
+            view = job.view()
             view["deduplicated"] = True
             return 200, view
         self._seq += 1
@@ -273,6 +295,7 @@ class SimulationService:
             spec=normalized,
             digest=digest,
             seq=self._seq,
+            idempotency_key=idempotency_key,
         )
         try:
             self.queue.submit(job.id, inflight=len(self.pool.inflight))
@@ -282,6 +305,8 @@ class SimulationService:
             raise
         self.jobs[job.id] = job
         self._active_by_digest[digest] = job.id
+        if idempotency_key is not None:
+            self._by_idempotency[idempotency_key] = job.id
         self.state.save(job)
         self.m_jobs.inc(event="submitted")
         view = job.view()
@@ -299,8 +324,10 @@ class SimulationService:
             if request is None:
                 writer.close()
                 return
-            method, path, req_body = request
-            status, headers, body = self._route(method, path, req_body)
+            method, path, req_headers, req_body = request
+            status, headers, body = self._route(
+                method, path, req_headers, req_body
+            )
         except _HttpError as exc:
             status, headers, body = _json_response(
                 exc.status, {"error": exc.message}
@@ -323,7 +350,7 @@ class SimulationService:
                 pass
 
     def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: dict, body: bytes
     ) -> tuple[int, dict, bytes]:
         if path == "/healthz" and method == "GET":
             return _json_response(200, self._health())
@@ -334,18 +361,30 @@ class SimulationService:
                 self.metrics.render().encode(),
             )
         if path == "/v1/jobs" and method == "POST":
-            return self._route_submit(body)
+            return self._route_submit(headers, body)
         if path.startswith("/v1/jobs/") and method == "GET":
             return self._route_job(path[len("/v1/jobs/"):], with_result=False)
         if path.startswith("/v1/results/") and method == "GET":
             return self._route_job(
                 path[len("/v1/results/"):], with_result=True
             )
+        extra = self._route_extra(method, path, headers, body)
+        if extra is not None:
+            return extra
         if path in ("/v1/jobs",) or path.startswith(("/v1/", "/healthz", "/metrics")):
             raise _HttpError(405, f"{method} not allowed on {path}")
         raise _HttpError(404, f"no such endpoint: {path}")
 
-    def _route_submit(self, body: bytes) -> tuple[int, dict, bytes]:
+    def _route_extra(
+        self, method: str, path: str, headers: dict, body: bytes
+    ) -> "tuple[int, dict, bytes] | None":
+        """Subclass hook: extra endpoints (the coordinator's lease and
+        store-proxy routes).  None means 'not mine'."""
+        return None
+
+    def _route_submit(
+        self, headers: dict, body: bytes
+    ) -> tuple[int, dict, bytes]:
         if self.draining:
             raise _HttpError(503, "service is draining; not accepting jobs")
         try:
@@ -353,7 +392,9 @@ class SimulationService:
         except (UnicodeDecodeError, ValueError):
             raise _HttpError(400, "request body is not valid JSON") from None
         try:
-            status, view = self._submit(raw)
+            status, view = self._submit(
+                raw, idempotency_key=headers.get("idempotency-key")
+            )
         except SpecError as exc:
             raise _HttpError(400, str(exc)) from None
         except QueueFullError as exc:
@@ -406,7 +447,7 @@ class _HttpError(Exception):
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> "tuple[str, str, bytes] | None":
+) -> "tuple[str, str, dict, bytes] | None":
     """Parse one request; None for an immediately-closed connection."""
     try:
         line = await reader.readline()
@@ -420,7 +461,7 @@ async def _read_request(
     if len(parts) != 3:
         raise _HttpError(400, "malformed request line")
     method, target, _version = parts
-    if method not in ("GET", "POST"):
+    if method not in ("GET", "POST", "PUT"):
         raise _HttpError(405, f"unsupported method {method}")
     headers = {}
     for _ in range(_MAX_HEADERS):
@@ -433,7 +474,7 @@ async def _read_request(
     else:
         raise _HttpError(400, "too many headers")
     body = b""
-    if method == "POST":
+    if method in ("POST", "PUT"):
         try:
             length = int(headers.get("content-length", "0"))
         except ValueError:
@@ -443,7 +484,7 @@ async def _read_request(
         if length:
             body = await reader.readexactly(length)
     path = target.split("?", 1)[0]
-    return method, path, body
+    return method, path, headers, body
 
 
 def _json_response(status: int, payload: dict) -> tuple[int, dict, bytes]:

@@ -40,6 +40,13 @@ class Job:
     result: "dict | None" = None
     wall_time: "float | None" = None
     resumed: bool = False
+    #: Client-supplied Idempotency-Key; retried POSTs with the same key
+    #: land on this job instead of creating a duplicate.
+    idempotency_key: "str | None" = None
+    #: Cluster bookkeeping: delivery attempts (1 = first lease) and the
+    #: runner that produced the terminal state.
+    attempts: int = 0
+    runner: "str | None" = None
 
     def view(self, include_result: bool = False) -> dict:
         """The JSON shape the HTTP endpoints return."""
@@ -54,6 +61,10 @@ class Job:
             view["error"] = self.error
         if self.wall_time is not None:
             view["wall_seconds"] = self.wall_time
+        if self.attempts:
+            view["attempts"] = self.attempts
+        if self.runner is not None:
+            view["runner"] = self.runner
         if include_result and self.result is not None:
             view["result"] = self.result
         return view
@@ -68,6 +79,9 @@ class Job:
             "error": self.error,
             "result": self.result,
             "wall_time": self.wall_time,
+            "idempotency_key": self.idempotency_key,
+            "attempts": self.attempts,
+            "runner": self.runner,
         }
 
     @classmethod
@@ -81,6 +95,9 @@ class Job:
             error=raw.get("error"),
             result=raw.get("result"),
             wall_time=raw.get("wall_time"),
+            idempotency_key=raw.get("idempotency_key"),
+            attempts=raw.get("attempts", 0),
+            runner=raw.get("runner"),
         )
 
 

@@ -381,7 +381,7 @@ class TestServiceUnderInjection:
         ]
         monkeypatch.setattr(
             client, "_request_once",
-            lambda method, path, body=None: responses.pop(0),
+            lambda method, path, body=None, headers=None: responses.pop(0),
         )
         sleeps: list[float] = []
         monkeypatch.setattr(
@@ -398,7 +398,7 @@ class TestServiceUnderInjection:
         client = client_module.ServiceClient(retries=1)
         monkeypatch.setattr(
             client, "_request_once",
-            lambda method, path, body=None: (
+            lambda method, path, body=None, headers=None: (
                 429, {"retry-after": "1"}, {"error": "full"}
             ),
         )

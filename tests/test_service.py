@@ -329,6 +329,52 @@ class TestServiceHttp:
             assert again["deduplicated"] is True
             assert again["id"] == first["id"]
 
+    def test_duplicate_submit_race_lands_on_one_job(self, tmp_path):
+        """A retried POST /v1/jobs (same Idempotency-Key) must resolve
+        to the job the first attempt created — even when the retry
+        races the job to a terminal state, and even though the server's
+        response to the first attempt was never seen."""
+        with running_service(tmp_path, workers=1) as (service, client):
+            key = client.idempotency_key(FAST_WORKLOAD)
+            first = client.submit(FAST_WORKLOAD, idempotency_key=key)
+            assert first["deduplicated"] is False
+            # The "response lost" retry: same key, concurrent with the
+            # job running — and again after it is terminal.
+            retry = client.submit(FAST_WORKLOAD, idempotency_key=key)
+            assert retry["id"] == first["id"]
+            assert retry["deduplicated"] is True
+            client.wait(first["id"], timeout=120)
+            late_retry = client.submit(FAST_WORKLOAD, idempotency_key=key)
+            assert late_retry["id"] == first["id"]
+            assert late_retry["deduplicated"] is True
+
+            metrics = parse_metrics(client.metrics())
+            assert (
+                metrics['stfm_service_jobs_total{event="submitted"}'] == 1
+            )
+            assert (
+                metrics['stfm_service_jobs_total{event="idempotent_replay"}']
+                == 2
+            )
+            # A *fresh* submission attempt (new nonce) after the job is
+            # terminal is a new job — deliberate resubmission still works.
+            fresh = client.submit(FAST_WORKLOAD)
+            assert fresh["deduplicated"] is False
+            assert fresh["id"] != first["id"]
+
+    def test_idempotency_key_survives_restart(self, tmp_path):
+        """Keys are persisted with the job: a coordinator restart must
+        not turn a retried POST into a duplicate job."""
+        key = None
+        with running_service(tmp_path, workers=1) as (service, client):
+            key = client.idempotency_key(FAST_WORKLOAD)
+            first = client.submit(FAST_WORKLOAD, idempotency_key=key)
+            client.wait(first["id"], timeout=120)
+        with running_service(tmp_path, workers=1) as (service, client):
+            retry = client.submit(FAST_WORKLOAD, idempotency_key=key)
+            assert retry["id"] == first["id"]
+            assert retry["deduplicated"] is True
+
     def test_malformed_specs_return_400(self, tmp_path):
         with running_service(tmp_path, workers=0) as (service, client):
             status, _headers, body = client.request(

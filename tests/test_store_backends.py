@@ -1,0 +1,254 @@
+"""Store-backend conformance suite (repro.engine.backends).
+
+Every backend — local FS, SQLite, and the coordinator's HTTP store
+proxy — must behave identically under the :class:`CacheStore` policy
+layer: round-trip integrity, checksum corruption quarantined on read,
+safe concurrent writers, best-effort puts that never raise, and a
+uniform ``stats()``/``prune()`` schema (which is what lets
+``stfm-sim cache`` report the same shape everywhere).
+
+The HTTP backend runs against a *real* :class:`ClusterCoordinator`
+on a loopback port, proxying onto an FS store — the same wiring a
+cluster runner uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator, CoordinatorConfig
+from repro.engine.backends import (
+    FsBackend,
+    SqliteBackend,
+    StoreBackend,
+    create_backend,
+)
+from repro.engine.store import CacheStore, payload_checksum
+
+BACKENDS = ("fs", "sqlite", "http")
+
+
+@contextlib.contextmanager
+def _coordinator(tmp_path):
+    """A live coordinator (FS-backed store) on a loopback port."""
+    service = ClusterCoordinator(CoordinatorConfig(
+        host="127.0.0.1",
+        port=0,
+        cache_dir=str(tmp_path / "proxy-root"),
+        state_dir=str(tmp_path / "coordinator-state"),
+        lease_ttl=30.0,
+    ))
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    try:
+        asyncio.run_coroutine_threadsafe(service.start(), loop).result(30)
+        yield f"http://127.0.0.1:{service.port}"
+    finally:
+        asyncio.run_coroutine_threadsafe(
+            service.drain_and_stop(), loop
+        ).result(60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+@pytest.fixture(params=BACKENDS)
+def location(request, tmp_path):
+    """A backend location string of each flavor."""
+    if request.param == "fs":
+        yield str(tmp_path / "store")
+    elif request.param == "sqlite":
+        yield f"sqlite:{tmp_path / 'store.sqlite'}"
+    else:
+        with _coordinator(tmp_path) as url:
+            yield url
+
+
+def _payload(tag: str) -> dict:
+    return {"rows": [[tag, 1.5, 2.25]], "meta": {"tag": tag}}
+
+
+class TestCreateBackend:
+    def test_dispatch_by_location(self, tmp_path):
+        assert isinstance(create_backend(str(tmp_path / "d")), FsBackend)
+        assert isinstance(
+            create_backend(f"sqlite:{tmp_path / 'x.db'}"), SqliteBackend
+        )
+        assert isinstance(
+            create_backend(str(tmp_path / "x.sqlite")), SqliteBackend
+        )
+        from repro.engine.backends import HttpStoreBackend
+
+        assert isinstance(
+            create_backend("http://127.0.0.1:1"), HttpStoreBackend
+        )
+
+    def test_backend_instance_passthrough(self, tmp_path):
+        backend = FsBackend(tmp_path / "d")
+        assert create_backend(backend) is backend
+        store = CacheStore(backend)
+        assert store.backend is backend
+
+
+class TestConformance:
+    def test_round_trip_and_counters(self, location):
+        store = CacheStore(location)
+        try:
+            assert store.get("k" * 64) is None
+            assert store.misses == 1
+            assert store.put("k" * 64, _payload("a"), "job-a")
+            got = store.get("k" * 64)
+            assert got == _payload("a")
+            assert store.hits == 1
+            assert "k" * 64 in store
+        finally:
+            store.close()
+        # A fresh store over the same location sees the entry (durable).
+        fresh = CacheStore(location)
+        try:
+            assert fresh.get("k" * 64) == _payload("a")
+        finally:
+            fresh.close()
+
+    def test_checksum_corruption_is_quarantined(self, location):
+        store = CacheStore(location)
+        try:
+            key = "c" * 64
+            entry = {
+                "kind": "job",
+                "describe": "tampered",
+                "sha256": "0" * 64,  # wrong on purpose
+                "payload": _payload("tampered"),
+            }
+            store.backend.write(key, json.dumps(entry).encode())
+            assert store.get(key) is None
+            assert store.quarantined == 1
+            # The entry is gone from the live store, not silently kept.
+            assert store.get(key) is None
+            assert store.quarantined == 1  # second read is a plain miss
+        finally:
+            store.close()
+
+    def test_undecodable_blob_is_quarantined(self, location):
+        store = CacheStore(location)
+        try:
+            key = "d" * 64
+            store.backend.write(key, b"\x00not json at all")
+            assert store.get(key) is None
+            assert store.quarantined == 1
+        finally:
+            store.close()
+
+    def test_concurrent_writers_land_every_entry(self, location):
+        store = CacheStore(location)
+        try:
+            keys = [f"{index:02d}" + "e" * 62 for index in range(8)]
+            errors: list[Exception] = []
+
+            def write(key: str) -> None:
+                try:
+                    for _ in range(5):  # repeated same-key writes race too
+                        assert store.put(key, _payload(key[:2]),
+                                         f"job-{key[:2]}")
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=write, args=(key,)) for key in keys
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30)
+            assert not errors
+            for key in keys:
+                assert store.get(key) == _payload(key[:2])
+            assert store.stats().entries == len(keys)
+        finally:
+            store.close()
+
+    def test_put_is_best_effort_on_write_error(self, location, monkeypatch):
+        store = CacheStore(location)
+        try:
+            def explode(key, blob):
+                raise OSError(28, "No space left on device")
+
+            monkeypatch.setattr(store.backend, "write", explode)
+            assert store.put("f" * 64, _payload("f"), "job-f") is False
+            assert store.put_errors == 1  # counted, never raised
+        finally:
+            store.close()
+
+    def test_stats_and_prune_schema_is_uniform(self, location):
+        store = CacheStore(location)
+        try:
+            for index in range(3):
+                store.put(f"{index}" + "a" * 63, _payload(str(index)),
+                          f"job-{index}")
+            stats = store.stats()
+            assert stats.entries == 3
+            assert stats.total_bytes > 0
+            assert len(store) == 3
+            removed = store.prune()
+            assert removed.entries == 3
+            assert removed.total_bytes > 0
+            assert store.stats().entries == 0
+            assert store.get("0" + "a" * 63) is None
+        finally:
+            store.close()
+
+    def test_checksum_helper_matches_store(self, location):
+        payload = _payload("x")
+        store = CacheStore(location)
+        try:
+            store.put("b" * 64, payload, "job-b")
+            raw = store.backend.read("b" * 64)
+            entry = json.loads(raw.decode())
+            assert entry["sha256"] == payload_checksum(payload)
+        finally:
+            store.close()
+
+
+class TestCacheCliSchema:
+    def test_cache_report_identical_schema_across_backends(
+        self, location, capsys
+    ):
+        """`stfm-sim cache --json` must emit the same keys everywhere."""
+        from repro.cli import main
+
+        store = CacheStore(location)
+        try:
+            store.put("9" * 64, _payload("9"), "job-9")
+        finally:
+            store.close()
+        assert main(["cache", "--store", location, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"location", "backend", "entries",
+                               "total_bytes"}
+        assert report["entries"] == 1
+        assert report["backend"] in ("fs", "sqlite", "http")
+
+        assert main(["cache", "--store", location, "--json",
+                     "--prune"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"location", "backend", "entries",
+                               "total_bytes", "pruned_entries",
+                               "pruned_bytes"}
+        assert report["pruned_entries"] == 1
+
+
+class TestBackendContract:
+    def test_every_backend_honors_the_abc(self, location):
+        backend = create_backend(location)
+        assert isinstance(backend, StoreBackend)
+        assert backend.read("absent" + "0" * 58) is None
+        backend.quarantine("absent" + "0" * 58)  # best-effort, no raise
+        assert backend.contains("absent" + "0" * 58) is False
+        assert backend.count() == 0
+        backend.close()
