@@ -1,0 +1,125 @@
+"""Incremental lint cache (``.simlint-cache/``).
+
+Two kinds of entries, both keyed by the SHA-256 of a file's source:
+
+* *index* entries — the serialized :class:`~repro.analysis.index.
+  FileIndex` contribution.  Extraction is purely local to a file, so
+  these survive edits elsewhere in the tree.
+* *findings* entries — the rule output for a file, additionally keyed
+  by a *tree digest* (the hash of every linted file's hash), the
+  effective rule selection, and a schema version.  Rules consume
+  cross-file facts (call graph, lease contract), so any edit anywhere
+  invalidates every findings entry; an unchanged tree replays all
+  findings with **zero** ``ast.parse`` calls.
+
+Everything lives in one JSON manifest written atomically (tmp file +
+``os.replace``); a corrupt or version-skewed manifest is discarded,
+never trusted.  Entries untouched by the current run are pruned so
+the manifest tracks the tree instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+#: Bump when FileIndex serialization or rule semantics change shape.
+CACHE_SCHEMA = "simlint-cache-v1"
+
+DEFAULT_CACHE_DIR = ".simlint-cache"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def tree_digest(file_digests: "list[tuple[str, str]]") -> str:
+    """Digest of the whole linted tree (sorted path->sha pairs)."""
+    hasher = hashlib.sha256()
+    for path, digest in sorted(file_digests):
+        hasher.update(path.encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(digest.encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+class LintCache:
+    """Load-once / save-once manifest wrapper."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self.path = os.path.join(root, "manifest.json")
+        self._index: "dict[str, dict]" = {}
+        self._findings: "dict[str, list[dict]]" = {}
+        self._touched_index: "set[str]" = set()
+        self._touched_findings: "set[str]" = set()
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if manifest.get("schema") != CACHE_SCHEMA:
+            return
+        index = manifest.get("index")
+        findings = manifest.get("findings")
+        if isinstance(index, dict):
+            self._index = index
+        if isinstance(findings, dict):
+            self._findings = findings
+
+    # -- index entries -------------------------------------------------------
+
+    def get_index(self, digest: str) -> "dict | None":
+        entry = self._index.get(digest)
+        if entry is not None:
+            self._touched_index.add(digest)
+        return entry
+
+    def put_index(self, digest: str, data: dict) -> None:
+        self._index[digest] = data
+        self._touched_index.add(digest)
+
+    # -- findings entries ----------------------------------------------------
+
+    def findings_key(
+        self, digest: str, tree: str, selection: str
+    ) -> str:
+        tail = hashlib.sha256(
+            f"{tree}\0{selection}".encode("utf-8")
+        ).hexdigest()[:16]
+        return f"{digest}:{tail}"
+
+    def get_findings(self, key: str) -> "list[dict] | None":
+        entry = self._findings.get(key)
+        if entry is not None:
+            self._touched_findings.add(key)
+        return entry
+
+    def put_findings(self, key: str, findings: "list[dict]") -> None:
+        self._findings[key] = findings
+        self._touched_findings.add(key)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self) -> None:
+        manifest = {
+            "schema": CACHE_SCHEMA,
+            "index": {
+                k: v for k, v in self._index.items()
+                if k in self._touched_index
+            },
+            "findings": {
+                k: v for k, v in self._findings.items()
+                if k in self._touched_findings
+            },
+        }
+        os.makedirs(self.root, exist_ok=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, separators=(",", ":"))
+        os.replace(tmp, self.path)

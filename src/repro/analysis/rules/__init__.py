@@ -54,24 +54,16 @@ class Finding:
         )
 
 
-@dataclass
-class ProjectIndex:
-    """Cross-file type facts the ordering rules need.
+from repro.analysis.index import (  # noqa: E402  (re-export)
+    FileIndex,
+    ProjectIndex,
+)
 
-    Built from one pass over every linted file before any rule runs:
-
-    Attributes:
-        set_attrs: Attribute names annotated (or default-factoried) as
-            ``set``/``frozenset`` anywhere in the project.  Name-based,
-            not type-based — a deliberate over-approximation: if *any*
-            class calls ``foo`` a set, ``obj.foo`` is treated as one.
-        dict_of_set_attrs: Attribute names annotated as
-            ``dict[..., set[...]]`` — their subscripts and ``.get()``
-            results are sets.
-    """
-
-    set_attrs: set[str] = field(default_factory=set)
-    dict_of_set_attrs: set[str] = field(default_factory=set)
+__all__ = [
+    "ALL_DOMAINS", "ARBITRATION_DOMAINS", "CORE_DOMAINS",
+    "GENERATION_DOMAINS", "FileIndex", "Finding", "LintContext",
+    "ProjectIndex", "Rule", "all_rules", "index_file", "walk_shallow",
+]
 
 
 @dataclass
@@ -223,6 +215,18 @@ def all_rules() -> list[Rule]:
         SetIterationRule,
     )
     from repro.analysis.rules.robustness import SilentExceptRule
+    from repro.analysis.rules.concurrency import (
+        AwaitUnderLockRule,
+        BlockingInCoroutineRule,
+        CtxvarThreadWriteRule,
+        ForkAfterThreadRule,
+        SharedStateMutationRule,
+        UnjoinedThreadRule,
+    )
+    from repro.analysis.rules.protocol_static import (
+        UndeclaredLeaseOpRule,
+        UndeclaredStatusCodeRule,
+    )
 
     rules: list[Rule] = [
         WallClockRule(),
@@ -232,5 +236,13 @@ def all_rules() -> list[Rule]:
         FloatEqualityRule(),
         MutableDefaultRule(),
         SilentExceptRule(),
+        BlockingInCoroutineRule(),
+        SharedStateMutationRule(),
+        AwaitUnderLockRule(),
+        ForkAfterThreadRule(),
+        UnjoinedThreadRule(),
+        CtxvarThreadWriteRule(),
+        UndeclaredLeaseOpRule(),
+        UndeclaredStatusCodeRule(),
     ]
     return sorted(rules, key=lambda rule: rule.code)

@@ -1,0 +1,322 @@
+"""Concurrency rules (SIM101–SIM106).
+
+PRs 4–7 layered an asyncio HTTP service, a thread-pooled worker
+bridge, a multiprocessing engine, and a threaded cluster runner on
+top of the simulator.  The bugs those layers can host — a blocking
+call stalling the event loop, a worker thread scribbling on shared
+module state, a fork while sibling threads hold locks — are invisible
+to per-file reasoning, so every rule here consumes the linked
+:class:`repro.analysis.index.ProjectIndex`.
+
+========  ==============================================================
+SIM101    blocking call reachable from a coroutine (event-loop stall)
+SIM102    unlocked mutation of shared module-level state
+SIM103    ``await`` while holding a synchronous lock
+SIM104    process fork after a thread start in the same function
+SIM105    thread/process started but never joined and never escaping
+SIM106    ``ContextVar.set`` inside a thread-pool entry point
+========  ==============================================================
+
+Known approximations (deliberate, to keep the tree's legitimate
+patterns clean): "lock-ish" is name-based; blocking file I/O is only
+flagged lexically inside ``async def`` (small crash-safety writes on
+the loop are tolerated); SIM105 analyses the assignment form
+(``t = Thread(...)``) and exempts daemon threads; SIM106 checks
+direct thread-entry functions, not their whole call closure.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.index import HARD_KINDS, FileIndex, ProjectIndex
+from repro.analysis.rules import ALL_DOMAINS, LintContext, Rule
+
+_KIND_LABEL = {
+    "sleep": "time.sleep",
+    "subprocess": "a subprocess wait",
+    "network": "synchronous network I/O",
+    "shutdown": "a blocking executor shutdown",
+    "file": "synchronous file I/O",
+}
+
+
+def _file_of(ctx: LintContext) -> "FileIndex | None":
+    index = ctx.index
+    if not isinstance(index, ProjectIndex) or not index.linked:
+        return None
+    return index.files.get(ctx.path)
+
+
+class _IndexedRule(Rule):
+    """Base for rules that need the linked project index."""
+
+    domains = ALL_DOMAINS
+
+    def run(self, ctx: LintContext):
+        if not ctx.applies(self.domains):
+            return []
+        file_index = _file_of(ctx)
+        if file_index is None:
+            return []
+        return list(self.check_indexed(ctx, file_index))
+
+    def check_indexed(self, ctx: LintContext, file_index: FileIndex):
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def at(self, ctx: LintContext, line: int, col: int, message: str):
+        from repro.analysis.rules import Finding
+
+        return Finding(
+            path=ctx.path, line=line, col=col, code=self.code,
+            message=message, fixit=self.fixit,
+        )
+
+
+class BlockingInCoroutineRule(_IndexedRule):
+    """SIM101: a coroutine calls something that blocks the event loop.
+
+    Hard blockers (``time.sleep``, subprocess waits, synchronous
+    network I/O, ``Executor.shutdown(wait=True)``) are flagged both
+    lexically and transitively through the sync call graph; file I/O
+    is flagged only when it appears directly in the ``async def``.
+    """
+
+    code = "SIM101"
+    summary = "blocking call inside a coroutine stalls the event loop"
+    fixit = (
+        "await an async equivalent, or push the call into the worker "
+        "pool (run_in_executor / to_thread)"
+    )
+
+    def check_indexed(self, ctx: LintContext, file_index: FileIndex):
+        index: ProjectIndex = ctx.index
+        for info in file_index.functions.values():
+            if not info.is_async:
+                continue
+            for site in info.calls:
+                if site.awaited:
+                    continue
+                kind = index.classify_blocking(file_index, site)
+                if kind is not None:
+                    label = _KIND_LABEL.get(kind, kind)
+                    yield self.at(
+                        ctx, site.line, site.col,
+                        f"coroutine {info.qualname} performs {label} "
+                        f"({'.'.join(site.chain)})",
+                    )
+                    continue
+                resolved = index.resolve_call(
+                    file_index, info.qualname, site
+                )
+                if resolved is None or resolved not in index.blocking:
+                    continue
+                if resolved in index.thread_targets:
+                    continue  # handed to the pool, not called on the loop
+                callee = index.functions.get(resolved)
+                if callee is not None and callee.is_async:
+                    continue
+                cause_kind, cause = index.blocking[resolved]
+                if cause_kind not in HARD_KINDS:
+                    continue
+                yield self.at(
+                    ctx, site.line, site.col,
+                    f"coroutine {info.qualname} calls "
+                    f"{'.'.join(site.chain)} which blocks on "
+                    f"{_KIND_LABEL.get(cause_kind, cause_kind)} "
+                    f"(via {cause})",
+                )
+
+
+class SharedStateMutationRule(_IndexedRule):
+    """SIM102: module-level shared state mutated without its lock.
+
+    Fires when a module global is (a) mutated under a lock somewhere
+    but bare elsewhere — the lock is load-bearing, the bare site is a
+    race — or (b) mutated bare inside a function that the index proves
+    runs on a worker thread.
+    """
+
+    code = "SIM102"
+    summary = "unlocked mutation of shared module-level state"
+    fixit = (
+        "guard every mutation of the global with the same lock "
+        "(with _LOCK: ...), or make the state thread-local"
+    )
+
+    def check_indexed(self, ctx: LintContext, file_index: FileIndex):
+        index: ProjectIndex = ctx.index
+        summary = index.mutation_summary()
+        for info in file_index.functions.values():
+            fid = f"{file_index.module}.{info.qualname}"
+            threaded = (
+                fid in index.thread_reachable or fid in index.thread_targets
+            )
+            for mutation in info.mutations:
+                if mutation.locked:
+                    continue
+                if mutation.name not in file_index.module_globals:
+                    continue
+                key = (file_index.module, mutation.name)
+                entry = summary.get(key, {"locked": [], "unlocked": []})
+                if entry["locked"]:
+                    yield self.at(
+                        ctx, mutation.line, mutation.col,
+                        f"global {mutation.name} is mutated under a lock "
+                        f"elsewhere but bare here ({info.qualname})",
+                    )
+                elif threaded:
+                    yield self.at(
+                        ctx, mutation.line, mutation.col,
+                        f"global {mutation.name} mutated from "
+                        f"thread-reachable {info.qualname} without a lock",
+                    )
+
+
+class AwaitUnderLockRule(_IndexedRule):
+    """SIM103: ``await`` while holding a synchronous lock.
+
+    A held ``threading.Lock`` across a suspension point blocks every
+    other task (and thread) that wants the lock for the full latency
+    of the awaited operation — and deadlocks if the awaited path needs
+    the same lock.
+    """
+
+    code = "SIM103"
+    summary = "await while holding a synchronous lock"
+    fixit = (
+        "release the lock before awaiting (copy what you need out of "
+        "the critical section), or use asyncio.Lock"
+    )
+
+    def check_indexed(self, ctx: LintContext, file_index: FileIndex):
+        for info in file_index.functions.values():
+            for line, col, under_lock in info.await_lines:
+                if under_lock:
+                    yield self.at(
+                        ctx, line, col,
+                        f"{info.qualname} awaits while holding a "
+                        "synchronous lock",
+                    )
+
+
+class ForkAfterThreadRule(_IndexedRule):
+    """SIM104: process started after threads in the same function.
+
+    ``fork()`` clones only the calling thread; locks held by the other
+    threads stay locked forever in the child (CPython's logging and
+    queue internals are classic victims).
+    """
+
+    code = "SIM104"
+    summary = "process fork after a thread start in the same function"
+    fixit = (
+        "start worker processes before any threads, or use the "
+        "'spawn' start method"
+    )
+
+    def check_indexed(self, ctx: LintContext, file_index: FileIndex):
+        index: ProjectIndex = ctx.index
+        for info in file_index.functions.values():
+            thread_lines = [
+                start.line
+                for start in info.thread_starts
+                if start.kind == "thread" and start.started
+            ]
+            if not thread_lines:
+                continue
+            first_thread = min(thread_lines)
+            for start in info.thread_starts:
+                if (
+                    start.kind == "process"
+                    and start.started
+                    and start.line > first_thread
+                ):
+                    yield self.at(
+                        ctx, start.line, start.col,
+                        f"{info.qualname} starts a process after "
+                        "starting threads (fork clones held locks)",
+                    )
+            for site in info.calls:
+                if (
+                    index.dotted_of(file_index, site.chain) == "os.fork"
+                    and site.line > first_thread
+                ):
+                    yield self.at(
+                        ctx, site.line, site.col,
+                        f"{info.qualname} forks after starting threads",
+                    )
+
+
+class UnjoinedThreadRule(_IndexedRule):
+    """SIM105: thread/process started, never joined, never escaping.
+
+    A start with no join in the same function and no escape (returned,
+    stored, passed along) cannot be drained on shutdown; non-daemon
+    ones also block interpreter exit.  Daemon threads are exempt —
+    fire-and-forget is their contract.
+    """
+
+    code = "SIM105"
+    summary = "thread/process started but never joined on any drain path"
+    fixit = (
+        "join it before returning, hand it to the caller, or mark it "
+        "daemon=True if fire-and-forget is intended"
+    )
+
+    def check_indexed(self, ctx: LintContext, file_index: FileIndex):
+        for info in file_index.functions.values():
+            for start in info.thread_starts:
+                if not start.started or start.joined or start.escapes:
+                    continue
+                if start.daemon is True:
+                    continue
+                yield self.at(
+                    ctx, start.line, start.col,
+                    f"{info.qualname} starts a {start.kind} "
+                    f"({start.var or 'anonymous'}) that is neither "
+                    "joined nor handed off",
+                )
+
+
+class CtxvarThreadWriteRule(_IndexedRule):
+    """SIM106: ``ContextVar.set`` inside a thread-pool entry point.
+
+    Each pooled thread runs in its own (reused!) context: the write
+    never propagates back to the submitter and leaks into whatever
+    task the pool schedules on that thread next.
+    """
+
+    code = "SIM106"
+    summary = "ContextVar written from a worker-thread entry point"
+    fixit = (
+        "pass the value explicitly (argument or contextvars.copy_"
+        "context().run), or set the var before submitting to the pool"
+    )
+
+    def check_indexed(self, ctx: LintContext, file_index: FileIndex):
+        index: ProjectIndex = ctx.index
+        for info in file_index.functions.values():
+            fid = f"{file_index.module}.{info.qualname}"
+            if fid not in index.thread_targets:
+                continue
+            for site in info.calls:
+                if site.chain[-1] != "set" or len(site.chain) < 2:
+                    continue
+                receiver_type = ""
+                if len(site.chain) == 2:
+                    receiver_type = file_index.module_types.get(
+                        site.chain[0], ""
+                    )
+                elif site.chain[0] == "self" and "." in info.qualname:
+                    owner = file_index.classes.get(
+                        info.qualname.split(".")[0]
+                    )
+                    if owner is not None:
+                        receiver_type = owner.attr_types.get(
+                            site.chain[1], ""
+                        )
+                if receiver_type.endswith("ContextVar"):
+                    yield self.at(
+                        ctx, site.line, site.col,
+                        f"thread entry point {info.qualname} sets "
+                        f"ContextVar {site.chain[-2]}",
+                    )

@@ -17,7 +17,24 @@ SIM004    no ``id()``-keyed state influencing decisions
 SIM005    no exact float equality on timing/slowdown quantities
 SIM006    no mutable default arguments
 SIM007    no broad ``except Exception: pass`` fault-swallowing
+SIM101    no blocking calls reachable from a coroutine
+SIM102    no unlocked mutation of shared module-level state
+SIM103    no ``await`` while holding a synchronous lock
+SIM104    no process fork after a thread start
+SIM105    no threads/processes started but never joined/handed off
+SIM106    no ``ContextVar`` writes from thread-pool entry points
+SIM107    lease transitions only in their declared handlers
+SIM108    lease routes only emit/branch on contracted status codes
 ========  ==============================================================
+
+The per-file rules (SIM001–SIM007) see one AST at a time; the
+concurrency and protocol families consume the project-wide index of
+:mod:`repro.analysis.index`, built by the parse → index → link →
+rules pipeline in :mod:`repro.analysis.passes`.  The CLI keeps an
+incremental cache under ``.simlint-cache/`` (``--no-cache`` bypasses
+it) and can emit ``--format json`` or ``--format sarif`` for machine
+consumers; CI maps the default text format onto inline annotations
+via ``.github/simlint-matcher.json``.
 
 Findings can be suppressed per line with a trailing
 ``# simlint: disable=SIM003`` (or ``# simlint: disable`` for all
@@ -38,11 +55,14 @@ from __future__ import annotations
 import argparse
 import ast
 import configparser
+import json
 import os
 import re
 import sys
 from dataclasses import dataclass, field
 
+from repro.analysis.cache import DEFAULT_CACHE_DIR, LintCache
+from repro.analysis.passes import PassResult, run_passes
 from repro.analysis.rules import (
     Finding,
     LintContext,
@@ -51,6 +71,12 @@ from repro.analysis.rules import (
     all_rules,
     index_file,
 )
+
+__all__ = [
+    "LintConfig", "lint_sources", "load_config", "main", "run_simlint",
+]
+
+_ = (LintContext, ProjectIndex, index_file)  # re-exported for rule tests
 
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?"
@@ -179,62 +205,144 @@ def _line_suppressions(lines: list[str]) -> dict[int, frozenset[str] | None]:
     return suppressed
 
 
+def _suppressor():
+    """Per-line suppression callback for the pass pipeline."""
+    memo: "dict[str, dict[int, frozenset[str] | None]]" = {}
+
+    def suppress(path: str, lines: "list[str]", finding: Finding) -> bool:
+        suppressed = memo.get(path)
+        if suppressed is None:
+            suppressed = memo[path] = _line_suppressions(lines)
+        codes = suppressed.get(finding.line, frozenset())
+        return codes is None or finding.code in codes
+
+    return suppress
+
+
+def lint_items(
+    items: "list[tuple[str, str]]",
+    config: "LintConfig | None" = None,
+    rules: "list[Rule] | None" = None,
+    cache: "LintCache | None" = None,
+) -> PassResult:
+    """Run the full pipeline over (path, source) pairs.
+
+    A shared :class:`ProjectIndex` is built from *all* items before
+    any rule runs, so cross-file facts — set-typed attributes, the
+    call graph, lease-handler classification — are visible regardless
+    of which file a rule is looking at.
+    """
+    config = config or LintConfig()
+    rules = rules if rules is not None else all_rules()
+    active = [rule for rule in rules if config.selects(rule.code)]
+    entries = [
+        (path, _domain_of(path), text) for path, text in items
+    ]
+    return run_passes(entries, active, _suppressor(), cache=cache)
+
+
 def lint_sources(
     items: "list[tuple[str, str]]",
     config: "LintConfig | None" = None,
     rules: "list[Rule] | None" = None,
 ) -> list[Finding]:
-    """Lint (path, source) pairs; the unit the tests drive directly.
+    """Lint (path, source) pairs; the unit the tests drive directly."""
+    return lint_items(items, config, rules).findings
 
-    A shared :class:`ProjectIndex` is built from *all* items first, so
-    set-typed attributes declared in one file are recognized when
-    iterated in another (e.g. ``ScanInfo.waiting_threads_by_bank``,
-    declared in ``controller.py``, iterated in ``core/estimator.py``).
-    """
-    config = config or LintConfig()
-    rules = rules if rules is not None else all_rules()
-    active = [rule for rule in rules if config.selects(rule.code)]
 
-    sources = [_Source(path, text) for path, text in items]
-    index = ProjectIndex()
-    for source in sources:
-        index_file(source.tree, index)
-
-    findings: list[Finding] = []
-    for source in sources:
-        if source.error is not None:
-            findings.append(source.error)
-            continue
-        lines = source.source.splitlines()
-        ctx = LintContext(
-            path=source.path,
-            domain=_domain_of(source.path),
-            source=source.source,
-            lines=lines,
-            tree=source.tree,
-            index=index,
-        )
-        suppressed = _line_suppressions(lines)
-        for rule in active:
-            for finding in rule.run(ctx):
-                codes = suppressed.get(finding.line, frozenset())
-                if codes is None or finding.code in codes:
-                    continue
-                findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
-    return findings
+def _read_items(paths: "list[str]") -> "list[tuple[str, str]]":
+    items = []
+    for path in collect_files(paths):
+        with open(path, encoding="utf-8") as handle:
+            items.append((path, handle.read()))
+    return items
 
 
 def run_simlint(
-    paths: list[str], config: "LintConfig | None" = None
+    paths: list[str],
+    config: "LintConfig | None" = None,
+    cache: "LintCache | None" = None,
 ) -> list[Finding]:
     """Lint files/directories on disk and return all findings."""
-    files = collect_files(paths)
-    items = []
-    for path in files:
-        with open(path, encoding="utf-8") as handle:
-            items.append((path, handle.read()))
-    return lint_sources(items, config)
+    return lint_items(_read_items(paths), config, cache=cache).findings
+
+
+# -- output formats ----------------------------------------------------------
+
+
+def render_text(findings: "list[Finding]") -> str:
+    lines = [finding.format() for finding in findings]
+    lines.append(
+        f"{len(findings)} finding(s)" if findings else "simlint: clean"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: "list[Finding]") -> str:
+    payload = {
+        "version": 1,
+        "count": len(findings),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "code": finding.code,
+                "message": finding.message,
+                "fixit": finding.fixit,
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(findings: "list[Finding]") -> str:
+    """Minimal SARIF 2.1.0 — one run, one result per finding."""
+    rule_ids = sorted({finding.code for finding in findings})
+    by_code = {code: i for i, code in enumerate(rule_ids)}
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "simlint",
+                "informationUri": "https://example.invalid/simlint",
+                "rules": [{"id": code} for code in rule_ids],
+            }},
+            "results": [
+                {
+                    "ruleId": finding.code,
+                    "ruleIndex": by_code[finding.code],
+                    "level": "error",
+                    "message": {
+                        "text": f"{finding.message}  [fix: {finding.fixit}]"
+                    },
+                    "locations": [{
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        },
+                    }],
+                }
+                for finding in findings
+            ],
+        }],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True)
+
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
 
 
 # -- CLI ---------------------------------------------------------------------
@@ -272,6 +380,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="describe rules and exit"
     )
+    parser.add_argument(
+        "--format", choices=sorted(_RENDERERS), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the incremental cache entirely",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"incremental cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print pipeline statistics (files, parses, cache reuse)",
+    )
     return parser
 
 
@@ -288,14 +412,20 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.ignore:
         config.disable = config.disable | _parse_codes(args.ignore)
     paths = args.paths or [_default_lint_path()]
-    findings = run_simlint(paths, config)
-    for finding in findings:
-        print(finding.format())
-    if findings:
-        print(f"{len(findings)} finding(s)")
-        return 1
-    print("simlint: clean")
-    return 0
+    cache = None if args.no_cache else LintCache(args.cache_dir)
+    result = lint_items(_read_items(paths), config, cache=cache)
+    if cache is not None:
+        cache.save()
+    print(_RENDERERS[args.format](result.findings))
+    if args.stats:
+        stats = result.stats
+        print(
+            f"stats: {stats.files} file(s), {stats.parsed} parsed, "
+            f"{stats.index_reused} index entr(ies) reused, "
+            f"{stats.findings_reused} findings replayed",
+            file=sys.stderr,
+        )
+    return 1 if result.findings else 0
 
 
 if __name__ == "__main__":

@@ -220,6 +220,14 @@ def _cmd_lint(args) -> int:
         argv += ["--config", args.lint_config]
     if args.list_rules:
         argv += ["--list-rules"]
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.no_cache:
+        argv += ["--no-cache"]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.stats:
+        argv += ["--stats"]
     return simlint_main(argv)
 
 
@@ -581,6 +589,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--list-rules", action="store_true", help="describe rules and exit"
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default text)",
+    )
+    lint_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental lint cache",
+    )
+    lint_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="incremental cache directory (default .simlint-cache)",
+    )
+    lint_parser.add_argument(
+        "--stats", action="store_true",
+        help="print parse/reuse statistics to stderr",
     )
     lint_parser.set_defaults(func=_cmd_lint)
 

@@ -6,9 +6,9 @@ idempotency and digest-coalescing behavior — but instead of a worker
 pool draining the admission queue, runner processes lease jobs over
 HTTP and post results back.  Extra endpoints::
 
-    POST /v1/leases                  lease a job      200 | 204 (none) | 503
+    POST /v1/leases                  lease a job      200 | 204 (none) | 400 | 503
     POST /v1/leases/<id>/heartbeat   extend deadline  200 | 410 (lost)
-    POST /v1/leases/<id>/complete    settle the job   200 | 410 (redelivered)
+    POST /v1/leases/<id>/complete    settle the job   200 | 400 | 410 (redelivered)
     GET  /v1/cluster                 topology view    200
     GET  /v1/store/<key>             store proxy      200 | 404
     PUT  /v1/store/<key>             store proxy      204
@@ -27,6 +27,12 @@ A lease that misses its heartbeats expires: the job is requeued at the
 front and the next lease request redelivers it (at-least-once).  A
 completion for an expired lease is answered ``410 Gone`` and its
 payload discarded, so only one attempt ever settles a job.
+
+The lease lifecycle and the status codes above are declared once, as
+data, in :mod:`repro.cluster.lease_model`; ``simlint`` (SIM107/SIM108)
+checks the handlers against that model statically, and the opt-in
+:class:`~repro.cluster.lease_model.LeaseSanitizer` replays every
+transition at runtime during cluster tests.
 """
 
 from __future__ import annotations

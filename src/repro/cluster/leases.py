@@ -23,6 +23,8 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.cluster.lease_model import LeaseSanitizer, sanitize_enabled
+
 
 @dataclass
 class Lease:
@@ -73,6 +75,13 @@ class LeaseTable:
         self.redeliveries = 0
         self.late_completions = 0
         self._attempts: dict[str, int] = {}  # job_id -> deliveries so far
+        # Opt-in shadow checker (STFM_SIM_LEASE_SANITIZE=1): replays
+        # every transition against the declarative protocol model and
+        # raises on the first illegal one.  Observation-only — results
+        # are bit-identical with it on or off.
+        self.sanitizer: "LeaseSanitizer | None" = (
+            LeaseSanitizer() if sanitize_enabled() else None
+        )
 
     # -- recovery ------------------------------------------------------------
     def recover(self) -> int:
@@ -92,6 +101,8 @@ class LeaseTable:
                     self._attempts.get(raw["job_id"], 0), int(raw["attempt"])
                 )
                 stale += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.observe_recover(str(raw.get("id", path.stem)))
             except (OSError, ValueError, KeyError, TypeError):
                 pass
             try:
@@ -122,12 +133,16 @@ class LeaseTable:
         self._by_job[job_id] = lease.id
         self.granted[runner] = self.granted.get(runner, 0) + 1
         self._persist(lease)
+        if self.sanitizer is not None:
+            self.sanitizer.observe_grant(lease.id, job_id, runner, attempt)
         return lease
 
     def heartbeat(self, lease_id: str, now: float) -> "Lease | None":
         """Extend the lease's deadline; None when the lease is gone
         (expired or completed) — the runner should abandon the job."""
         lease = self._leases.get(lease_id)
+        if self.sanitizer is not None:
+            self.sanitizer.observe_heartbeat(lease_id, hit=lease is not None)
         if lease is None:
             return None
         lease.deadline = now + self.ttl
@@ -137,6 +152,8 @@ class LeaseTable:
         """Settle a lease on completion; None when it already expired
         (the result is a late duplicate and must be discarded)."""
         lease = self._leases.pop(lease_id, None)
+        if self.sanitizer is not None:
+            self.sanitizer.observe_complete(lease_id, hit=lease is not None)
         if lease is None:
             self.late_completions += 1
             return None
@@ -155,6 +172,8 @@ class LeaseTable:
             self.expirations += 1
             self.redeliveries += 1
             self._unpersist(lease)
+            if self.sanitizer is not None:
+                self.sanitizer.observe_expire(lease.id)
         return due
 
     # -- views ---------------------------------------------------------------

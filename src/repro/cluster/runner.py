@@ -162,6 +162,17 @@ class ClusterRunner:
         finally:
             stop_heartbeat.set()
         beater.join(timeout=5.0)
+        if lost.is_set():
+            # The heartbeat loop saw a 410: the lease expired and the
+            # job was redelivered.  Posting the completion would only
+            # earn another 410 (the contract's late-duplicate answer),
+            # so drop it here and let the new attempt settle the job.
+            print(
+                f"runner {self.id}: lease {lease_id} lost; "
+                f"discarding result",
+                flush=True,
+            )
+            return
         wall = time.monotonic() - started
         delta = session_report().since(before)
         body = {

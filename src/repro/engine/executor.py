@@ -148,7 +148,8 @@ def session_report() -> EngineReport:
 
 def reset_session_report() -> None:
     global _SESSION
-    _SESSION = EngineReport()
+    with _SESSION_LOCK:
+        _SESSION = EngineReport()
 
 
 def _worker_main(job, conn, attempt: int = 1, inject: bool = True) -> None:

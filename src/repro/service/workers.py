@@ -188,5 +188,8 @@ class WorkerPool:
                 pass
         self._tasks = []
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # wait=False: the workers were awaited above, so any thread
+            # still running belongs to a watchdog-abandoned hung job —
+            # waiting for it would stall the event loop indefinitely.
+            self._executor.shutdown(wait=False)
             self._executor = None

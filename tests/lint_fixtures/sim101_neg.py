@@ -1,0 +1,15 @@
+import asyncio
+import time
+
+
+def busy():
+    time.sleep(0.1)
+
+
+async def tick():
+    await asyncio.sleep(0.1)
+
+
+async def offload():
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, busy)

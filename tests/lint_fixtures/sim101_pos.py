@@ -1,0 +1,13 @@
+import time
+
+
+def warm_up():
+    time.sleep(0.5)
+
+
+async def tick():
+    time.sleep(0.1)
+
+
+async def prepare():
+    warm_up()

@@ -1,0 +1,14 @@
+import threading
+
+_STATE = {}
+_LOCK = threading.Lock()
+
+
+def record(key, value):
+    with _LOCK:
+        _STATE.update({key: value})
+
+
+def reset():
+    with _LOCK:
+        _STATE.clear()

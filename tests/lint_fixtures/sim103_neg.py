@@ -1,0 +1,11 @@
+import threading
+
+_LOCK = threading.Lock()
+_CACHE = {}
+
+
+async def refresh(fetch):
+    with _LOCK:
+        stale = dict(_CACHE)
+    value = await fetch(stale)
+    return value

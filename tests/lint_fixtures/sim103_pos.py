@@ -1,0 +1,9 @@
+import threading
+
+_LOCK = threading.Lock()
+
+
+async def refresh(fetch):
+    with _LOCK:
+        value = await fetch()
+    return value

@@ -1,0 +1,11 @@
+import multiprocessing
+import threading
+
+
+def launch(work):
+    child = multiprocessing.Process(target=work)
+    child.start()
+    pump = threading.Thread(target=work)
+    pump.start()
+    pump.join()
+    child.join()

@@ -1,0 +1,11 @@
+import multiprocessing
+import threading
+
+
+def launch(work):
+    pump = threading.Thread(target=work)
+    pump.start()
+    child = multiprocessing.Process(target=work)
+    child.start()
+    child.join()
+    pump.join()

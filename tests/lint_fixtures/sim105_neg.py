@@ -1,0 +1,19 @@
+import threading
+
+
+def run_joined(work):
+    runner = threading.Thread(target=work)
+    runner.start()
+    runner.join()
+
+
+def run_daemon(work):
+    beat = threading.Thread(target=work, daemon=True)
+    beat.start()
+
+
+def run_handoff(work, registry):
+    runner = threading.Thread(target=work)
+    runner.start()
+    registry.append(runner)
+    return runner

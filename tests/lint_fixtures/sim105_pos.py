@@ -1,0 +1,6 @@
+import threading
+
+
+def fire_and_forget(work):
+    runner = threading.Thread(target=work)
+    runner.start()

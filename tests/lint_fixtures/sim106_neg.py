@@ -1,0 +1,16 @@
+import contextvars
+
+_REQUEST_ID = contextvars.ContextVar("request_id")
+
+
+def annotate(request):
+    _REQUEST_ID.set(request)
+
+
+def handle(request):
+    return _REQUEST_ID.get(None)
+
+
+def serve(pool, request):
+    annotate(request)
+    pool.submit(handle, request)

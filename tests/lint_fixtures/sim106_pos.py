@@ -1,0 +1,11 @@
+import contextvars
+
+_REQUEST_ID = contextvars.ContextVar("request_id")
+
+
+def handle(request):
+    _REQUEST_ID.set(request)
+
+
+def serve(pool, request):
+    pool.submit(handle, request)

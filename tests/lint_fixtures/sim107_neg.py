@@ -1,0 +1,12 @@
+# lint-as: src/repro/cluster/example.py
+
+
+class ClusterCoordinator:
+    def __init__(self, leases):
+        self.leases = leases
+
+    def _route_heartbeat(self, lease_id):
+        return self.leases.heartbeat(lease_id, 0.0)
+
+    def _summary(self):
+        return self.leases.active_by_runner()

@@ -1,0 +1,10 @@
+# lint-as: src/repro/cluster/example.py
+
+
+class ClusterCoordinator:
+    def __init__(self, leases):
+        self.leases = leases
+
+    def _route_status(self, job_id):
+        self.leases.expire_due(0.0)
+        return 200, {}, b""

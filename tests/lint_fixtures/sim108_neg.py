@@ -1,0 +1,23 @@
+# lint-as: src/repro/cluster/example.py
+from repro.service.server import _json_response
+
+
+class ClusterCoordinator:
+    def __init__(self, leases):
+        self.leases = leases
+
+    def _route_heartbeat(self, lease_id):
+        lease = self.leases.heartbeat(lease_id, 0.0)
+        if lease is None:
+            return _json_response(410, {"error": "gone"})
+        return _json_response(200, {})
+
+
+class Poller:
+    def poll(self, client):
+        status, headers, decoded = client.request(
+            "POST", "/v1/leases", body={}
+        )
+        if status in (200, 204):
+            return decoded
+        return None

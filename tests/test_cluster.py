@@ -308,6 +308,39 @@ class TestBitIdentical:
             assert final["status"] == "done"
             assert final["result"]["rows"] == direct["rows"]
 
+    def test_fig3_under_lease_sanitizer_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        """The same fig3-through-cluster run with the lease sanitizer
+        shadow-checking every transition: zero violations (a violation
+        raises inside the coordinator and fails the run) and results
+        bit-identical to the unsanitized single-process execution."""
+        from repro.experiments import run_experiment
+        from repro.experiments.io import result_to_dict
+
+        direct = result_to_dict(run_experiment("fig3", scale="tiny"))
+        monkeypatch.setenv("STFM_SIM_LEASE_SANITIZE", "1")
+        spec = {"kind": "experiment", "experiment": "fig3", "scale": "tiny"}
+        with running_coordinator(
+            tmp_path, cache_dir=str(tmp_path / "store")
+        ) as (service, client):
+            sanitizer = service.leases.sanitizer
+            assert sanitizer is not None
+            view = client.submit(spec)
+            runner = ClusterRunner(RunnerConfig(
+                coordinator=f"http://127.0.0.1:{service.port}",
+                runner_id="r-sanitized",
+                poll=0.05,
+                max_jobs=1,
+            ))
+            assert runner.run() == 0
+            final = client.result(view["id"])
+            assert final["status"] == "done"
+            assert final["result"]["rows"] == direct["rows"]
+            assert sanitizer.transitions_checked > 0
+            assert sanitizer.active == {}  # every lease settled/expired
+            assert sanitizer.settled  # and at least one settled cleanly
+
 
 # -- subprocess smoke --------------------------------------------------------
 

@@ -39,6 +39,8 @@ class TestRegistry:
         assert [rule.code for rule in all_rules()] == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
             "SIM007",
+            "SIM101", "SIM102", "SIM103", "SIM104", "SIM105", "SIM106",
+            "SIM107", "SIM108",
         ]
 
     def test_every_rule_has_fixit_and_summary(self):
