@@ -11,6 +11,10 @@ numbers in commit messages:
 * ``throughput_100k`` / ``throughput_1m`` — raw simulated instructions
   per second of a single 4-core shared run at 100k and 1M instruction
   budgets (the 1M run is the ROADMAP's north-star budget).
+* ``per_policy_kernel_cost`` — event-kernel wall time of one 4-core
+  shared run under *every* registered scheduling policy (extensions
+  included), so a policy whose state machine defeats the kernel's
+  inert-window skipping shows up as an outlier in the trajectory.
 * ``engine_parallel`` — speedup of the experiment engine's process pool
   over its serial path on a small batch.
 * ``service_round_trip`` — submit-to-result latency of a tiny job
@@ -49,7 +53,7 @@ import time
 
 #: Sequence number of the snapshot this revision writes.  Bump when a
 #: PR adds a new trajectory point (the file is committed, not ignored).
-BENCH_SEQUENCE = 7
+BENCH_SEQUENCE = 9
 
 #: Normalized slowdown beyond which a metric counts as a regression.
 REGRESSION_THRESHOLD = 1.30
@@ -155,6 +159,54 @@ def _time_throughput(kernel: str, budget: int) -> "tuple[float, int]":
         snapshots = system.run()
         elapsed = time.perf_counter() - t0
     return elapsed, sum(s.instructions for s in snapshots)
+
+
+def _time_per_policy(budget: int) -> dict:
+    """Event-kernel seconds of one 4-core shared run per policy.
+
+    Traces are built once and shared (they are immutable); each policy
+    gets a fresh system.  The per-policy numbers expose schedulers whose
+    state machines defeat the event kernel's inert-window skipping; the
+    total is the cross-snapshot comparison quantity.
+    """
+    from repro.engine.jobs import resolve_spec
+    from repro.schedulers import make_policy
+    from repro.schedulers.registry import available_policies
+    from repro.sim.config import SystemConfig
+    from repro.sim.runner import ExperimentRunner
+    from repro.sim.system import CmpSystem
+
+    per_policy: dict = {}
+    total = 0.0
+    with _with_kernel("event"):
+        config = SystemConfig(num_cores=len(_THROUGHPUT_WORKLOAD))
+        runner = ExperimentRunner(config, instruction_budget=budget)
+        specs = [resolve_spec(name) for name in _THROUGHPUT_WORKLOAD]
+        traces = [
+            runner.trace_for(spec, i, len(specs))
+            for i, spec in enumerate(specs)
+        ]
+        budgets = [runner.budget_for(spec) for spec in specs]
+        mlp_limits = [s.mlp for s in specs]
+        for name in available_policies(include_extensions=True):
+            policy = make_policy(name, num_threads=len(specs))
+            system = CmpSystem(
+                config, traces, policy, budgets, mlp_limits=mlp_limits
+            )
+            t0 = time.perf_counter()
+            snapshots = system.run()
+            elapsed = time.perf_counter() - t0
+            instructions = sum(s.instructions for s in snapshots)
+            per_policy[name] = {
+                "seconds": elapsed,
+                "instructions_per_second": instructions / elapsed,
+            }
+            total += elapsed
+    return {
+        "budget": budget,
+        "policies": per_policy,
+        "total_seconds": total,
+    }
 
 
 def _time_engine_parallel(scale: str) -> dict:
@@ -392,6 +444,18 @@ def run_suite(quick: bool = False, log=print) -> dict:
             f"{key}: event {sec_e:.2f}s ({instructions / sec_e:,.0f} "
             f"instr/s), naive {sec_n:.2f}s -> {sec_n / sec_e:.2f}x"
         )
+
+    per_policy = _time_per_policy(10_000 if quick else 50_000)
+    per_policy["normalized"] = norm(per_policy["total_seconds"])
+    metrics["per_policy_kernel_cost"] = per_policy
+    slowest = max(
+        per_policy["policies"], key=lambda p: per_policy["policies"][p]["seconds"]
+    )
+    log(
+        f"per_policy_kernel_cost: {len(per_policy['policies'])} policies "
+        f"in {per_policy['total_seconds']:.2f}s total (slowest: {slowest} "
+        f"{per_policy['policies'][slowest]['seconds']:.2f}s)"
+    )
 
     if not quick:
         engine = _time_engine_parallel("tiny")

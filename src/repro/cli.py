@@ -7,6 +7,7 @@ Usage::
     stfm-sim run fig3 --sanitize            # with the DRAM protocol sanitizer
     stfm-sim run all --scale tiny
     stfm-sim workload mcf libquantum GemsFDTD astar --policy stfm
+    stfm-sim tournament --matrix small -j 4 --json frontier.json
     stfm-sim benchmarks          # show the Table 3 registry
     stfm-sim lint                # static simulator-invariant analysis
     stfm-sim serve               # run the HTTP simulation service
@@ -452,6 +453,72 @@ def _cmd_bench(args) -> int:
     )
 
 
+def _cmd_tournament(args) -> int:
+    import json as json_module
+
+    from repro.engine.store import ResultStore
+    from repro.schedulers.registry import EXTENSION_ORDER, PAPER_ORDER
+    from repro.tournament import TournamentSpec, build_matrix, run_tournament
+
+    if args.sanitize:
+        _enable_sanitizer()
+    if args.inject:
+        rc = _enable_faults(args.inject)
+        if rc:
+            return rc
+    matrix_name = "quick" if args.quick else args.matrix
+    budget = args.budget
+    if args.quick and args.budget is None:
+        budget = 4_000
+    if budget is None:
+        budget = 20_000
+    policies = args.policies or (PAPER_ORDER + EXTENSION_ORDER)
+    try:
+        spec = TournamentSpec.create(
+            policies=policies,
+            workloads=build_matrix(
+                matrix_name, num_cores=args.cores, seed=args.seed
+            ),
+            num_cores=args.cores,
+            budget=budget,
+            seed=args.seed,
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"tournament: {exc}", file=sys.stderr)
+        return 2
+    store = None
+    cache_dir = None
+    if args.store:
+        store = ResultStore(args.store)
+    elif not args.no_cache:
+        cache_dir = args.cache_dir or default_cache_dir()
+    options = EngineOptions(jobs=args.jobs, cache_dir=cache_dir, store=store)
+    started = time.time()
+    engine_before = session_report().snapshot()
+    try:
+        with _maybe_profile(args.profile), engine_options(options):
+            result = run_tournament(spec)
+    except JobFailedError as exc:
+        print(f"tournament: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if store is not None:
+            store.close()
+    elapsed = time.time() - started
+    print(result.text)
+    engine_delta = session_report().since(engine_before)
+    print(f"\n(engine: {engine_delta.summary()})")
+    print(f"(spec {spec.digest()}, {elapsed:.1f}s)")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_module.dump(
+                result.to_payload(), handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_benchmarks(_args) -> int:
     print(
         format_table(
@@ -544,6 +611,78 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("benchmarks", help="show the Table 3 registry").set_defaults(
         func=_cmd_benchmarks
     )
+
+    tournament_parser = sub.add_parser(
+        "tournament", help="race every scheduler across a stratified "
+        "workload matrix and chart the fairness-throughput frontier "
+        "(see repro.tournament)"
+    )
+    tournament_parser.add_argument(
+        "--policies", nargs="+", metavar="NAME", default=None,
+        help="policies to enter (default: all registered, extensions "
+        "included)",
+    )
+    tournament_parser.add_argument(
+        "--matrix", default="default",
+        choices=("quick", "small", "default", "full"),
+        help="stratified workload-matrix size (default: 'default' = 8 "
+        "workloads)",
+    )
+    tournament_parser.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="per-thread instruction budget (default 20000; 4000 with "
+        "--quick)",
+    )
+    tournament_parser.add_argument(
+        "--cores", type=int, default=4, metavar="N",
+        help="cores per workload (default 4)",
+    )
+    tournament_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="matrix-sampling and trace-generation seed",
+    )
+    tournament_parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="simulation worker processes (default: 1 = serial; "
+        "parallel results are bit-identical)",
+    )
+    tournament_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: the 'quick' matrix at a tiny budget",
+    )
+    tournament_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the frontier + per-cell metrics as JSON",
+    )
+    tournament_parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persistent result store (default: $STFM_SIM_CACHE_DIR or "
+        "~/.cache/stfm-sim)",
+    )
+    tournament_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result store for this run",
+    )
+    tournament_parser.add_argument(
+        "--store", metavar="LOCATION", default=None,
+        help="result-store backend overriding --cache-dir: a directory, "
+        "'sqlite:/path.db', or 'http://coordinator:port' (run cells "
+        "against a cluster's shared store)",
+    )
+    tournament_parser.add_argument(
+        "--sanitize", action="store_true",
+        help="validate every DRAM command against DDR2 timing",
+    )
+    tournament_parser.add_argument(
+        "--inject", nargs="+", metavar="SITE=RATE", default=None,
+        help="deterministic fault injection (repro.faults)",
+    )
+    tournament_parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="profile the run with cProfile; write cumulative-sorted "
+        "stats to PATH",
+    )
+    tournament_parser.set_defaults(func=_cmd_tournament)
 
     bench_parser = sub.add_parser(
         "bench", help="run the pinned performance suite and write a "

@@ -11,14 +11,20 @@ The package implements Section 3 (approach and algorithm) and Section 5
 * :mod:`repro.core.stfm` — the scheduling policy of Section 3.2.1 with
   the system-software support of Section 3.3 (``alpha`` threshold and
   thread weights).
+* :mod:`repro.core.mise` — an extension: STFM's fairness rule driven by
+  MISE request-service-rate slowdown estimation (HPCA 2013) instead of
+  the interference register file.
 """
 
 from repro.core.estimator import InterferenceEstimator
+from repro.core.mise import MiseStfmPolicy, ServiceRateEstimator
 from repro.core.registers import StfmRegisters, ThreadRegisters
 from repro.core.stfm import StfmPolicy
 
 __all__ = [
     "InterferenceEstimator",
+    "MiseStfmPolicy",
+    "ServiceRateEstimator",
     "StfmPolicy",
     "StfmRegisters",
     "ThreadRegisters",

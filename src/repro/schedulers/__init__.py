@@ -1,22 +1,31 @@
 """DRAM scheduling policies evaluated in the paper.
 
 Baselines: FR-FCFS (Section 2.4), FCFS, FR-FCFS+Cap and NFQ (Section 4).
-The paper's contribution, STFM, lives in :mod:`repro.core`.
+The paper's contribution, STFM, lives in :mod:`repro.core`.  The
+extension zoo from the follow-on literature — PAR-BS, BLISS, MISE-STFM
+and STAGED — lives alongside the baselines here (MISE-STFM in
+:mod:`repro.core.mise`, next to the STFM machinery it reuses).
 """
 
 from repro.schedulers.base import SchedulingPolicy
+from repro.schedulers.bliss import BlissPolicy
 from repro.schedulers.fcfs import FcfsPolicy
 from repro.schedulers.frfcfs import FrFcfsPolicy
 from repro.schedulers.frfcfs_cap import FrFcfsCapPolicy
 from repro.schedulers.nfq import NfqPolicy
+from repro.schedulers.parbs import ParBsPolicy
 from repro.schedulers.registry import available_policies, make_policy
+from repro.schedulers.staged import StagedPolicy
 
 __all__ = [
+    "BlissPolicy",
     "FcfsPolicy",
     "FrFcfsCapPolicy",
     "FrFcfsPolicy",
     "NfqPolicy",
+    "ParBsPolicy",
     "SchedulingPolicy",
+    "StagedPolicy",
     "available_policies",
     "make_policy",
 ]

@@ -1,15 +1,18 @@
-"""Factory for the five scheduling policies evaluated in the paper."""
+"""Factory for the paper's five scheduling policies and the follow-on
+literature's extension zoo (PAR-BS, BLISS, MISE-STFM, STAGED)."""
 
 from __future__ import annotations
 
 from typing import Callable
 
 from repro.schedulers.base import SchedulingPolicy
+from repro.schedulers.bliss import BlissPolicy
 from repro.schedulers.fcfs import FcfsPolicy
 from repro.schedulers.frfcfs import FrFcfsPolicy
 from repro.schedulers.frfcfs_cap import FrFcfsCapPolicy
 from repro.schedulers.nfq import NfqPolicy
 from repro.schedulers.parbs import ParBsPolicy
+from repro.schedulers.staged import StagedPolicy
 
 
 def _make_frfcfs(num_threads: int, **kwargs) -> SchedulingPolicy:
@@ -45,27 +48,68 @@ def _make_stfm(num_threads: int, **kwargs) -> SchedulingPolicy:
     )
 
 
+def _make_bliss(num_threads: int, **kwargs) -> SchedulingPolicy:
+    return BlissPolicy(
+        num_threads,
+        threshold=kwargs.get("threshold", 4),
+        clearing_interval=kwargs.get("clearing_interval", 10_000),
+    )
+
+
+def _make_mise_stfm(num_threads: int, **kwargs) -> SchedulingPolicy:
+    from repro.core.mise import MiseStfmPolicy
+
+    return MiseStfmPolicy(
+        num_threads,
+        alpha=kwargs.get("alpha", 1.10),
+        epoch_length=kwargs.get("epoch_length", 2_000),
+        weights=kwargs.get("weights"),
+    )
+
+
+def _make_staged(num_threads: int, **kwargs) -> SchedulingPolicy:
+    streaming = kwargs.get("streaming_threads")
+    return StagedPolicy(
+        num_threads,
+        streaming_threads=streaming,
+        epoch_length=kwargs.get("epoch_length", 2_000),
+        spill_factor=kwargs.get("spill_factor", 2.0),
+        min_epoch_requests=kwargs.get("min_epoch_requests", 32),
+    )
+
+
 _FACTORIES: dict[str, Callable[..., SchedulingPolicy]] = {
     "fr-fcfs": _make_frfcfs,
     "fcfs": _make_fcfs,
     "fr-fcfs+cap": _make_frfcfs_cap,
     "nfq": _make_nfq,
     "stfm": _make_stfm,
-    # Extension: the batch scheduler that succeeded STFM (ISCA 2008).
+    # Extensions from the follow-on literature (see DESIGN.md §3.17):
+    # the batch scheduler that succeeded STFM (ISCA 2008), the
+    # blacklisting scheduler (ICCD 2014), STFM's fairness rule on MISE
+    # service-rate slowdowns (HPCA 2013), and staged scheduling for
+    # heterogeneous CPU+GPU traffic (ISCA 2012).
     "par-bs": _make_parbs,
+    "bliss": _make_bliss,
+    "mise-stfm": _make_mise_stfm,
+    "staged": _make_staged,
 }
 
 #: Canonical display names, in the order the paper's figures use.  The
-#: extension scheduler PAR-BS is additionally available via
+#: extension schedulers are additionally available via
 #: :func:`make_policy` but excluded from paper-figure sweeps.
 PAPER_ORDER = ["fr-fcfs", "fcfs", "fr-fcfs+cap", "nfq", "stfm"]
+
+#: Extension schedulers from the follow-on literature, in chronological
+#: order of publication.
+EXTENSION_ORDER = ["par-bs", "bliss", "mise-stfm", "staged"]
 
 
 def available_policies(include_extensions: bool = False) -> list[str]:
     """Names accepted by :func:`make_policy`, in the paper's order."""
     names = list(PAPER_ORDER)
     if include_extensions:
-        names.append("par-bs")
+        names.extend(EXTENSION_ORDER)
     return names
 
 
@@ -74,17 +118,23 @@ def make_policy(name: str, num_threads: int, **kwargs) -> SchedulingPolicy:
 
     Args:
         name: One of ``fr-fcfs``, ``fcfs``, ``fr-fcfs+cap``, ``nfq``,
-            ``stfm`` (case-insensitive).
+            ``stfm``, or an extension — ``par-bs``, ``bliss``,
+            ``mise-stfm``, ``staged`` (case-insensitive).
         num_threads: Threads sharing the memory system (needed by the
             thread-aware policies).
         **kwargs: Policy-specific options — ``cap`` for FR-FCFS+Cap;
             ``shares`` for NFQ; ``alpha``, ``gamma``, ``interval_length``
-            and ``weights`` for STFM.
+            and ``weights`` for STFM; ``marking_cap`` for PAR-BS;
+            ``threshold`` and ``clearing_interval`` for BLISS; ``alpha``,
+            ``epoch_length`` and ``weights`` for MISE-STFM;
+            ``streaming_threads``, ``epoch_length``, ``spill_factor``
+            and ``min_epoch_requests`` for STAGED.
     """
     try:
         factory = _FACTORIES[name.lower()]
     except KeyError:
         raise ValueError(
-            f"unknown policy {name!r}; available: {', '.join(PAPER_ORDER)}"
+            f"unknown policy {name!r}; available: "
+            f"{', '.join(PAPER_ORDER + EXTENSION_ORDER)}"
         ) from None
     return factory(num_threads, **kwargs)

@@ -213,6 +213,12 @@ class ServiceClient:
         )
         return decoded
 
+    def results(self) -> list[dict]:
+        """``GET /v1/results``: every known job as ``{id, spec_digest,
+        status}``, in submission order (no result payloads)."""
+        _status, _headers, decoded = self._checked("GET", "/v1/results")
+        return decoded["results"]
+
     def wait(
         self, job_id: str, timeout: float = 300.0, poll: float = 0.1
     ) -> dict:

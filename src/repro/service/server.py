@@ -364,6 +364,8 @@ class SimulationService:
             return self._route_submit(headers, body)
         if path.startswith("/v1/jobs/") and method == "GET":
             return self._route_job(path[len("/v1/jobs/"):], with_result=False)
+        if path == "/v1/results" and method == "GET":
+            return self._route_results_index()
         if path.startswith("/v1/results/") and method == "GET":
             return self._route_job(
                 path[len("/v1/results/"):], with_result=True
@@ -420,6 +422,23 @@ class SimulationService:
         if job.status in jobstate.TERMINAL:
             return _json_response(200, job.view(include_result=True))
         return _json_response(202, job.view())
+
+    def _route_results_index(self) -> tuple[int, dict, bytes]:
+        """``GET /v1/results``: list every known job (no payloads).
+
+        Submission order (the per-service sequence number), so a client
+        can page through history deterministically; results themselves
+        stay behind ``/v1/results/<id>``.
+        """
+        listing = [
+            {
+                "id": job.id,
+                "spec_digest": job.digest,
+                "status": job.status,
+            }
+            for job in sorted(self.jobs.values(), key=lambda j: j.seq)
+        ]
+        return _json_response(200, {"results": listing, "count": len(listing)})
 
     def _health(self) -> dict:
         by_status: dict[str, int] = {}

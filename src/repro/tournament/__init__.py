@@ -1,0 +1,35 @@
+"""Head-to-head scheduler tournaments (DESIGN.md §3.17).
+
+The paper compares five schedulers; the follow-on literature added a
+zoo.  This package races every registered policy across a stratified
+workload matrix — the paper's category-pattern CPU mixes plus
+heterogeneous CPU+GPU mixes — and reduces the grid to the trade-off
+every paper in the line negotiates: fairness versus throughput.
+
+* :mod:`repro.tournament.spec` — declarative, validated tournament
+  specs with content-addressed cell keys.
+* :mod:`repro.tournament.matrix` — deterministic stratified matrices.
+* :mod:`repro.tournament.run` — execution through the experiment
+  engine (one batch; serial/parallel bit-identical; warm reruns hit
+  the result store).
+* :mod:`repro.tournament.frontier` — Pareto analysis and the terminal
+  frontier chart.
+
+CLI entry: ``stfm-sim tournament`` (see README, section "Tournament").
+"""
+
+from repro.tournament.frontier import frontier_chart, pareto_frontier
+from repro.tournament.matrix import MATRIX_SIZES, build_matrix, stratified_matrix
+from repro.tournament.run import TournamentResult, run_tournament
+from repro.tournament.spec import TournamentSpec
+
+__all__ = [
+    "MATRIX_SIZES",
+    "TournamentResult",
+    "TournamentSpec",
+    "build_matrix",
+    "frontier_chart",
+    "pareto_frontier",
+    "run_tournament",
+    "stratified_matrix",
+]

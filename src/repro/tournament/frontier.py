@@ -1,0 +1,124 @@
+"""Fairness-vs-throughput frontier: Pareto analysis and terminal chart.
+
+The tournament's headline artifact is the trade-off the paper's Figure 9
+and Table 5 describe in prose: schedulers trade system throughput
+(weighted speedup, higher is better) against unfairness (max/min
+slowdown ratio, lower is better).  This module computes the Pareto
+frontier over per-policy aggregate points and renders a terminal
+scatter chart in the same spirit as :mod:`repro.experiments.charts` —
+the best corner is bottom-right (high throughput, low unfairness).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def pareto_frontier(points: Sequence[Mapping]) -> list[str]:
+    """Policies not dominated on (weighted_speedup ↑, unfairness ↓).
+
+    A point is dominated when another point is at least as good on both
+    axes and strictly better on one.  Returns policy names in the input
+    order.
+    """
+    frontier = []
+    for point in points:
+        dominated = False
+        for other in points:
+            if other is point:
+                continue
+            no_worse = (
+                other["weighted_speedup"] >= point["weighted_speedup"]
+                and other["unfairness"] <= point["unfairness"]
+            )
+            better = (
+                other["weighted_speedup"] > point["weighted_speedup"]
+                or other["unfairness"] < point["unfairness"]
+            )
+            if no_worse and better:
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(point["policy"])
+    return frontier
+
+
+def frontier_chart(
+    points: Sequence[Mapping],
+    width: int = 56,
+    height: int = 12,
+) -> str:
+    """ASCII scatter of policies in the fairness-throughput plane.
+
+    X axis: weighted speedup (right is better).  Y axis: unfairness
+    (down is better — the axis is drawn descending so the ideal corner
+    is bottom-right).  Each policy gets a letter marker; the legend maps
+    markers to names and stars the Pareto-frontier members.
+    """
+    if not points:
+        raise ValueError("frontier chart needs at least one point")
+    if len(points) > len(_MARKERS):
+        raise ValueError("too many policies to chart")
+    xs = [p["weighted_speedup"] for p in points]
+    ys = [p["unfairness"] for p in points]
+    x_lo, x_hi = _padded_range(min(xs), max(xs))
+    y_lo, y_hi = _padded_range(min(ys), max(ys))
+    grid = [[" "] * width for _ in range(height)]
+    for index, point in enumerate(points):
+        col = _scale(point["weighted_speedup"], x_lo, x_hi, width)
+        row = _scale(point["unfairness"], y_lo, y_hi, height)
+        # Row 0 is the top of the chart: highest unfairness.
+        row = height - 1 - row
+        cell = grid[row][col]
+        grid[row][col] = "+" if cell not in (" ", _MARKERS[index]) else (
+            _MARKERS[index]
+        )
+    label_width = 8
+    lines = [
+        "unfairness (lower is better)  vs  "
+        "weighted speedup (higher is better)"
+    ]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_hi:7.2f}x"
+        elif row_index == len(grid) - 1:
+            label = f"{y_lo:7.2f}x"
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append(" " * label_width + "+" + "-" * width + "+")
+    left = f"{x_lo:.2f}"
+    right = f"{x_hi:.2f}"
+    gap = width - len(left) - len(right)
+    lines.append(
+        " " * (label_width + 1) + left + " " * max(gap, 1) + right
+    )
+    frontier = set(pareto_frontier(points))
+    legend = []
+    for index, point in enumerate(points):
+        star = " *" if point["policy"] in frontier else ""
+        legend.append(
+            f"  {_MARKERS[index]} = {point['policy']}"
+            f" ({point['weighted_speedup']:.2f}, "
+            f"{point['unfairness']:.2f}x){star}"
+        )
+    lines.append("legend (* = Pareto frontier):")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def _padded_range(lo: float, hi: float) -> tuple[float, float]:
+    """Pad a degenerate or tight range so every point lands in-grid."""
+    if hi - lo < 1e-9:
+        pad = abs(hi) * 0.05 + 0.05
+        return lo - pad, hi + pad
+    pad = (hi - lo) * 0.05
+    return lo - pad, hi + pad
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    fraction = (value - lo) / (hi - lo)
+    index = int(fraction * cells)
+    return min(max(index, 0), cells - 1)

@@ -1,0 +1,76 @@
+"""Stratified workload matrices for tournaments.
+
+The matrix mirrors the paper's evaluation methodology (Section 6.2's
+category-pattern sampling) and extends it with the heterogeneous
+stratum the follow-on SMS work evaluates: a fixed fraction of the
+matrix pairs a GPU-like streaming agent with CPU benchmarks
+(:mod:`repro.workloads.streaming`).  Everything is deterministic in
+``(size, num_cores, seed)``, so matrices — and therefore tournament
+cell keys — are reproducible across machines and reruns.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.mixes import category_pattern_workloads, workload_name
+from repro.workloads.streaming import heterogeneous_workloads
+
+#: Named matrix sizes accepted by the CLI's ``--matrix`` flag.
+MATRIX_SIZES = {
+    "quick": 2,
+    "small": 4,
+    "default": 8,
+    "full": 16,
+}
+
+
+def stratified_matrix(
+    num_cores: int = 4,
+    count: int = 8,
+    seed: int = 0,
+    heterogeneous: bool = True,
+) -> "list[list[str]]":
+    """``count`` workloads: a CPU stratum plus a heterogeneous stratum.
+
+    Roughly one quarter of the matrix (at least one workload, when the
+    matrix has room and ``num_cores`` permits an agent + one CPU thread)
+    carries a streaming agent; the remainder is the paper's
+    category-stratified CPU sampling.
+    """
+    if count < 1:
+        raise ValueError("matrix needs at least one workload")
+    hetero_count = 0
+    if heterogeneous and count >= 2 and num_cores >= 2:
+        hetero_count = max(1, count // 4)
+    cpu_count = count - hetero_count
+    matrix = category_pattern_workloads(num_cores, cpu_count, seed=seed)
+    if hetero_count:
+        matrix = matrix + heterogeneous_workloads(
+            num_cores, hetero_count, seed=seed
+        )
+    # Defensive dedup by label: the strata cannot collide (only the
+    # heterogeneous one contains agents), but a pathological sampler
+    # seed could repeat a CPU mix.
+    seen: set[str] = set()
+    unique: list[list[str]] = []
+    for workload in matrix:
+        label = workload_name(workload)
+        if label not in seen:
+            seen.add(label)
+            unique.append(workload)
+    return unique
+
+
+def build_matrix(
+    name: str = "default",
+    num_cores: int = 4,
+    seed: int = 0,
+) -> "list[list[str]]":
+    """Resolve a named matrix size to a stratified workload list."""
+    try:
+        count = MATRIX_SIZES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown matrix {name!r}; available: "
+            f"{', '.join(MATRIX_SIZES)}"
+        ) from None
+    return stratified_matrix(num_cores, count, seed=seed)

@@ -1,0 +1,166 @@
+"""Declarative tournament specifications.
+
+A tournament is a cross product: every entered scheduling policy runs
+every workload in a stratified matrix, under one system configuration,
+budget and seed.  The spec is a frozen value object validated at
+construction, with two content-addressing hooks:
+
+* :meth:`TournamentSpec.digest` — a stable identity for the whole
+  tournament (spec files, result provenance).
+* :meth:`TournamentSpec.cell_key` — a stable identity for one
+  (workload, policy) cell.  Cell keys are derived purely from spec
+  content, so re-running the same tournament resolves every cell from
+  the result store: a warm rerun performs **zero** new simulations
+  (the engine's own job cache keys are a superset of the cell key's
+  inputs — see :meth:`repro.engine.jobs.SharedJob.cache_key`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.schedulers.registry import available_policies
+from repro.workloads.mixes import workload_name
+from repro.workloads.spec2006 import benchmark
+
+
+@dataclass(frozen=True)
+class TournamentSpec:
+    """One head-to-head tournament: policies × workloads."""
+
+    policies: tuple[str, ...]
+    workloads: tuple[tuple[str, ...], ...]
+    num_cores: int = 4
+    budget: int = 20_000
+    seed: int = 0
+    policy_kwargs: tuple[tuple[str, tuple[tuple[str, object], ...]], ...] = (
+        field(default=())
+    )
+
+    def __post_init__(self) -> None:
+        known = {name.lower() for name in available_policies(True)}
+        if not self.policies:
+            raise ValueError("tournament needs at least one policy")
+        seen: set[str] = set()
+        for policy in self.policies:
+            lowered = policy.lower()
+            if lowered not in known:
+                raise ValueError(
+                    f"unknown policy {policy!r}; available: "
+                    f"{', '.join(available_policies(True))}"
+                )
+            if lowered in seen:
+                raise ValueError(f"duplicate policy {policy!r}")
+            seen.add(lowered)
+        if not self.workloads:
+            raise ValueError("tournament needs at least one workload")
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        if self.budget < 1:
+            raise ValueError("budget must be positive")
+        labels: set[str] = set()
+        for workload in self.workloads:
+            if not workload:
+                raise ValueError("empty workload in tournament matrix")
+            if len(workload) > self.num_cores:
+                raise ValueError(
+                    f"workload {workload_name(list(workload))!r} has "
+                    f"{len(workload)} benchmarks for {self.num_cores} cores"
+                )
+            for name in workload:
+                benchmark(name)  # raises KeyError on unknown benchmarks
+            label = workload_name(list(workload))
+            if label in labels:
+                raise ValueError(f"duplicate workload {label!r}")
+            labels.add(label)
+        unknown = {p for p, _ in self.policy_kwargs} - {
+            policy.lower() for policy in self.policies
+        }
+        if unknown:
+            raise ValueError(
+                f"policy_kwargs for policies not entered: {sorted(unknown)}"
+            )
+
+    # -- construction helpers ---------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        policies: "list[str]",
+        workloads: "list[list[str]]",
+        num_cores: int = 4,
+        budget: int = 20_000,
+        seed: int = 0,
+        policy_kwargs: "dict[str, dict] | None" = None,
+    ) -> "TournamentSpec":
+        """Build a spec from plain lists/dicts (the CLI/test entry)."""
+        frozen_kwargs = tuple(
+            (policy.lower(), tuple(sorted(kwargs.items())))
+            for policy, kwargs in sorted((policy_kwargs or {}).items())
+        )
+        return cls(
+            policies=tuple(policies),
+            workloads=tuple(tuple(w) for w in workloads),
+            num_cores=num_cores,
+            budget=budget,
+            seed=seed,
+            policy_kwargs=frozen_kwargs,
+        )
+
+    def kwargs_for(self, policy: str) -> dict:
+        for name, frozen in self.policy_kwargs:
+            if name == policy.lower():
+                return dict(frozen)
+        return {}
+
+    @property
+    def labels(self) -> list[str]:
+        """Workload labels, in matrix order."""
+        return [workload_name(list(w)) for w in self.workloads]
+
+    # -- content addressing -------------------------------------------------
+    def _canonical(self) -> dict:
+        return {
+            "policies": [p.lower() for p in self.policies],
+            "workloads": [list(w) for w in self.workloads],
+            "num_cores": self.num_cores,
+            "budget": self.budget,
+            "seed": self.seed,
+            "policy_kwargs": [
+                [policy, [list(item) for item in kwargs]]
+                for policy, kwargs in self.policy_kwargs
+            ],
+        }
+
+    def digest(self) -> str:
+        """Stable identity of the whole tournament."""
+        return _sha256(self._canonical())
+
+    def cell_key(self, workload: "tuple[str, ...]", policy: str) -> str:
+        """Stable identity of one (workload, policy) cell.
+
+        Depends only on the cell's simulation inputs — the workload, the
+        policy (with its kwargs), and the shared system parameters — so
+        a cell keeps its key when the surrounding matrix changes.
+        """
+        return _sha256(
+            {
+                "workload": list(workload),
+                "policy": policy.lower(),
+                "policy_kwargs": [
+                    list(item)
+                    for item in dict(
+                        sorted(self.kwargs_for(policy).items())
+                    ).items()
+                ],
+                "num_cores": self.num_cores,
+                "budget": self.budget,
+                "seed": self.seed,
+            }
+        )
+
+
+def _sha256(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]

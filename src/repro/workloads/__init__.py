@@ -17,6 +17,11 @@ from repro.workloads.spec2006 import (
     benchmarks_by_category,
     intensive_order,
 )
+from repro.workloads.streaming import (
+    STREAMING_AGENTS,
+    heterogeneous_workloads,
+    is_streaming_agent,
+)
 from repro.workloads.synthetic import SyntheticTraceGenerator, generate_trace
 from repro.workloads.mixes import (
     category_pattern_workloads,
@@ -30,12 +35,15 @@ __all__ = [
     "BenchmarkSpec",
     "DESKTOP_BENCHMARKS",
     "SPEC2006",
+    "STREAMING_AGENTS",
     "SyntheticTraceGenerator",
     "benchmark",
     "benchmarks_by_category",
     "category_pattern_workloads",
     "generate_trace",
+    "heterogeneous_workloads",
     "intensive_order",
+    "is_streaming_agent",
     "sample_workloads_4core",
     "sample_workloads_8core",
     "sixteen_core_workloads",

@@ -173,13 +173,17 @@ SPEC2006: dict[str, BenchmarkSpec] = {
 
 
 def benchmark(name: str) -> BenchmarkSpec:
-    """Look up a benchmark spec by name (SPEC or desktop)."""
+    """Look up a benchmark spec by name (SPEC, desktop or streaming)."""
     if name in SPEC2006:
         return SPEC2006[name]
     from repro.workloads.desktop import DESKTOP_BENCHMARKS
 
     if name in DESKTOP_BENCHMARKS:
         return DESKTOP_BENCHMARKS[name]
+    from repro.workloads.streaming import STREAMING_AGENTS
+
+    if name in STREAMING_AGENTS:
+        return STREAMING_AGENTS[name]
     raise KeyError(f"unknown benchmark {name!r}")
 
 

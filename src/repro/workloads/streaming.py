@@ -1,0 +1,110 @@
+"""Heterogeneous streaming agents: GPU-like traffic classes.
+
+Ausavarungnirun et al. ("Staged Memory Scheduling: Achieving High
+Performance and Scalability in Heterogeneous Systems", ISCA 2012)
+evaluate CPU cores sharing a memory system with a GPU whose traffic is
+qualitatively different from any SPEC benchmark: enormously memory
+intensive, highly bursty, streaming through rows with near-perfect
+row-buffer locality, sustaining far more outstanding misses than a CPU
+core — and *latency tolerant*, because thousands of in-flight threads
+hide individual miss latency.
+
+This module models that agent class as :class:`BenchmarkSpec` instances
+(the same vocabulary the SPEC/desktop registries use, so every existing
+trace-generation, engine and experiment path accepts them unchanged):
+
+* ``gpu-stream`` — a shader-core frame sweep: streaming rows, maximal
+  MLP, zero dependence, long bursts.
+* ``gpu-texture`` — texture fetches concentrated on few banks
+  (bank-focused like dealII/astar but vastly more intensive).
+* ``gpu-compute`` — a GPGPU kernel: intensive and bursty but with some
+  pointer dependence, between the CPU and graphics extremes.
+
+``itype`` is ``"GPU"`` so schedulers, matrices and reports can identify
+the class (:func:`is_streaming_agent`).  The high ``mlp`` values are
+what makes the agents latency tolerant in this simulator: a core that
+can keep 24+ misses in flight rarely stalls on any single one.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec2006 import BenchmarkSpec
+
+
+STREAMING_AGENTS: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec(
+            name="gpu-stream",
+            itype="GPU",
+            mcpi=12.0,
+            mpki=150.0,
+            rb_hit_rate=0.95,
+            category=3,
+            burstiness=0.3,
+            burst_len=24,
+            dependence=0.0,
+            mlp=24,
+            write_fraction=0.3,
+            streaming=True,
+        ),
+        BenchmarkSpec(
+            name="gpu-texture",
+            itype="GPU",
+            mcpi=9.0,
+            mpki=110.0,
+            rb_hit_rate=0.85,
+            category=3,
+            burstiness=0.5,
+            burst_len=16,
+            bank_focus=2,
+            bank_focus_weight=0.85,
+            dependence=0.0,
+            mlp=16,
+            write_fraction=0.05,
+        ),
+        BenchmarkSpec(
+            name="gpu-compute",
+            itype="GPU",
+            mcpi=7.0,
+            mpki=80.0,
+            rb_hit_rate=0.6,
+            category=2,
+            burstiness=0.6,
+            burst_len=12,
+            dependence=0.1,
+            mlp=12,
+            write_fraction=0.4,
+        ),
+    ]
+}
+
+
+def is_streaming_agent(spec_or_name: "BenchmarkSpec | str") -> bool:
+    """True for the GPU-like agent class (by spec or registry name)."""
+    if isinstance(spec_or_name, BenchmarkSpec):
+        return spec_or_name.itype == "GPU"
+    return spec_or_name in STREAMING_AGENTS
+
+
+def heterogeneous_workloads(
+    num_cores: int,
+    count: int,
+    seed: int = 0,
+) -> "list[list[str]]":
+    """CPU+GPU mixes: one streaming agent plus ``num_cores - 1`` SPEC
+    benchmarks drawn category-stratified (the SMS evaluation shape).
+
+    Deterministic in ``(num_cores, count, seed)``, like the homogeneous
+    mix builders in :mod:`repro.workloads.mixes`.
+    """
+    if num_cores < 2:
+        raise ValueError("heterogeneous workloads need at least 2 cores")
+    from repro.workloads.mixes import category_pattern_workloads
+
+    agents = sorted(STREAMING_AGENTS)
+    cpu_mixes = category_pattern_workloads(num_cores - 1, count, seed=seed)
+    return [
+        [agents[index % len(agents)]] + mix
+        for index, mix in enumerate(cpu_mixes)
+    ]

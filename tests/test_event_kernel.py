@@ -24,7 +24,17 @@ from repro.sim.kernel import KERNEL_ENV, kernel_name
 from repro.sim.system import CmpSystem
 from repro.workloads.spec2006 import BenchmarkSpec
 
-POLICIES = ("fr-fcfs", "fcfs", "fr-fcfs+cap", "nfq", "stfm", "par-bs")
+POLICIES = (
+    "fr-fcfs",
+    "fcfs",
+    "fr-fcfs+cap",
+    "nfq",
+    "stfm",
+    "par-bs",
+    "bliss",
+    "mise-stfm",
+    "staged",
+)
 
 
 def random_spec(rng: random.Random, name: str) -> BenchmarkSpec:
@@ -206,6 +216,22 @@ def test_single_core_mlp_one_bit_identical(monkeypatch):
         **{**spec.__dict__, "dependence": 0.3, "mlp": 1, "name": "chase"}
     )
     assert_identical(monkeypatch, [spec], "fr-fcfs", mlp_limits=[1])
+
+
+@pytest.mark.parametrize("policy_name", ["staged", "bliss", "mise-stfm", "stfm"])
+def test_streaming_agent_mix_bit_identical(monkeypatch, policy_name):
+    """A GPU-like streaming agent next to CPU threads: the agent's long
+    bursts and high MLP stress the inert-window bounds, and the staged
+    policy's online classification must replay identically."""
+    from repro.workloads.streaming import STREAMING_AGENTS
+
+    rng = random.Random(23)
+    specs = [
+        STREAMING_AGENTS["gpu-stream"],
+        random_spec(rng, "cpu-0"),
+        random_spec(rng, "cpu-1"),
+    ]
+    assert_identical(monkeypatch, specs, policy_name, budget=3_000)
 
 
 class RecordingSanitizer(ProtocolSanitizer):

@@ -435,6 +435,25 @@ class TestServiceHttp:
             assert body["status"] == "queued"
             assert "result" not in body
 
+    def test_results_listing_endpoint(self, tmp_path):
+        with running_service(tmp_path, workers=0) as (service, client):
+            assert client.results() == []
+            first = client.submit(FAST_WORKLOAD)
+            second = client.submit(dict(FAST_WORKLOAD, policy="stfm"))
+            listing = client.results()
+            # Submission order, ids + digests + status, no payloads.
+            assert [entry["id"] for entry in listing] == [
+                first["id"],
+                second["id"],
+            ]
+            for entry, view in zip(listing, (first, second)):
+                assert set(entry) == {"id", "spec_digest", "status"}
+                assert entry["spec_digest"] == view["spec_digest"]
+                assert entry["status"] == "queued"
+            # The bare path rejects other methods like the rest of /v1.
+            status, _headers, _body = client.request("POST", "/v1/results")
+            assert status == 405
+
     def test_draining_health_and_503(self, tmp_path):
         with running_service(tmp_path, workers=0) as (service, client):
             assert client.health()["status"] == "ok"
