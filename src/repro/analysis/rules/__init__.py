@@ -214,7 +214,10 @@ def all_rules() -> list[Rule]:
         IdKeyedContainerRule,
         SetIterationRule,
     )
-    from repro.analysis.rules.robustness import SilentExceptRule
+    from repro.analysis.rules.robustness import (
+        SilentExceptRule,
+        UnboundedRetryLoopRule,
+    )
     from repro.analysis.rules.concurrency import (
         AwaitUnderLockRule,
         BlockingInCoroutineRule,
@@ -244,5 +247,6 @@ def all_rules() -> list[Rule]:
         CtxvarThreadWriteRule(),
         UndeclaredLeaseOpRule(),
         UndeclaredStatusCodeRule(),
+        UnboundedRetryLoopRule(),
     ]
     return sorted(rules, key=lambda rule: rule.code)

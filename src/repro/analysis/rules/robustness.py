@@ -5,12 +5,18 @@ all rely on failures being *observable* — counted, logged, or
 propagated.  A handler that catches ``Exception`` and does nothing is
 how cache corruption, lost writes, and dead workers hide until a sweep
 is already poisoned.
+
+SIM109 guards the opposite failure mode: a fault handled *too
+eagerly*.  A worker thread that wraps a network call in ``while True``
+with no pacing turns one dead endpoint into a busy-loop — the exact
+anti-pattern the cluster runner's circuit breaker exists to prevent.
 """
 
 from __future__ import annotations
 
 import ast
 
+from repro.analysis.index import CallSite, FileIndex, ProjectIndex
 from repro.analysis.rules import ALL_DOMAINS, LintContext, Rule
 
 _BROAD_NAMES = frozenset({"Exception", "BaseException"})
@@ -63,3 +69,170 @@ class SilentExceptRule(Rule):
                     if node.type is not None
                     else "bare 'except: pass' silently swallows the fault",
                 )
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    """``while True:`` / ``while 1:`` — a loop with no exit condition."""
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _function_defs(tree: ast.AST):
+    """Yield (qualname, node) matching the index builder's naming:
+    module functions, ``Class.method``, and ``parent.<locals>.nested``."""
+    stack: "list[tuple[str, ast.AST]]" = []
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.append((node.name, node))
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    stack.append((f"{node.name}.{stmt.name}", stmt))
+    while stack:
+        qualname, node = stack.pop()
+        yield qualname, node
+        for child in _scope_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.append((f"{qualname}.<locals>.{child.name}", child))
+
+
+def _scope_nodes(node: ast.AST):
+    """Descendants of one function scope, stopping at nested ``def``s
+    (which are yielded but not entered)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+class UnboundedRetryLoopRule(Rule):
+    """SIM109: ``while True`` around network I/O with no pacing.
+
+    In thread-reachable sync code (per the project index), a
+    constant-true loop whose body performs synchronous network I/O —
+    lexically, or transitively through the sync call graph — and
+    contains neither a ``time.sleep`` nor an ``Event.wait`` retries a
+    dead endpoint as fast as ``connect()`` can fail.  Bound the loop,
+    pace it, or gate it behind a breaker (whose ``wait``/``sleep``
+    inside the loop satisfies this rule).  Deadline loops
+    (``while time.monotonic() < deadline``) and event loops
+    (``while not stop.is_set()``) are not constant-true and are exempt.
+    """
+
+    code = "SIM109"
+    summary = "unbounded retry loop around network I/O with no pacing"
+    fixit = (
+        "bound the loop (for attempt in range(...)), pace it "
+        "(time.sleep / Event.wait / breaker backoff inside the loop), "
+        "or loop on a deadline or stop event instead of True"
+    )
+    domains = ALL_DOMAINS
+
+    #: Call tails that pace a loop: ``time.sleep``, ``Event.wait``,
+    #: ``Condition.wait`` — anything that yields the CPU between tries.
+    _PACING_TAILS = frozenset({"sleep", "wait"})
+    #: How deep into the sync call graph to chase a network call.
+    _DEPTH = 4
+
+    def run(self, ctx: LintContext):
+        if not ctx.applies(self.domains):
+            return []
+        index = ctx.index
+        if not isinstance(index, ProjectIndex) or not index.linked:
+            return []
+        file_index = index.files.get(ctx.path)
+        if file_index is None:
+            return []
+        return list(self._check(ctx, index, file_index))
+
+    def _check(
+        self, ctx: LintContext, index: ProjectIndex, file_index: FileIndex
+    ):
+        for qualname, node in _function_defs(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                continue  # the event loop is SIM101's beat
+            info = file_index.functions.get(qualname)
+            if info is None:
+                continue
+            fid = f"{file_index.module}.{qualname}"
+            if (
+                fid not in index.thread_reachable
+                and fid not in index.thread_targets
+            ):
+                continue
+            site_at = {(s.line, s.col): s for s in info.calls}
+            for loop in _scope_nodes(node):
+                if not isinstance(loop, ast.While):
+                    continue
+                if not _is_constant_true(loop.test):
+                    continue
+                sites = [
+                    site
+                    for child in _scope_nodes(loop)
+                    if isinstance(child, ast.Call)
+                    for site in (
+                        site_at.get((child.lineno, child.col_offset)),
+                    )
+                    if site is not None
+                ]
+                paced = False
+                network: "CallSite | None" = None
+                for site in sites:
+                    kind = index.classify_blocking(file_index, site)
+                    if kind == "sleep" or (
+                        site.chain[-1] in self._PACING_TAILS
+                    ):
+                        paced = True
+                        break
+                    if network is None and (
+                        kind == "network"
+                        or self._reaches_network(
+                            index, file_index, qualname, site
+                        )
+                    ):
+                        network = site
+                if paced or network is None:
+                    continue
+                yield self.finding(
+                    ctx,
+                    loop,
+                    f"{qualname} retries {'.'.join(network.chain)} in a "
+                    "'while True' with no sleep, wait, or bound "
+                    "(thread-reachable: a dead endpoint becomes a "
+                    "busy-loop)",
+                )
+
+    def _reaches_network(
+        self,
+        index: ProjectIndex,
+        file_index: FileIndex,
+        qualname: str,
+        site: CallSite,
+    ) -> bool:
+        """Whether a call site reaches synchronous network I/O within
+        ``_DEPTH`` sync-call hops (lexical check at every hop, plus the
+        index's transitive blocking classification)."""
+        seen: "set[str]" = set()
+        frontier = [(file_index, qualname, site)]
+        for _ in range(self._DEPTH):
+            next_frontier = []
+            for fi, qn, current in frontier:
+                resolved = index.resolve_call(fi, qn, current)
+                if resolved is None or resolved in seen:
+                    continue
+                seen.add(resolved)
+                if index.blocking.get(resolved, ("", ""))[0] == "network":
+                    return True
+                callee = index.functions.get(resolved)
+                if callee is None or callee.is_async:
+                    continue
+                callee_file = index.fid_file[resolved]
+                for sub in callee.calls:
+                    if sub.awaited:
+                        continue
+                    if index.classify_blocking(callee_file, sub) == "network":
+                        return True
+                    next_frontier.append((callee_file, callee.qualname, sub))
+            frontier = next_frontier
+        return False

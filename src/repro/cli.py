@@ -414,6 +414,7 @@ def _cmd_runner(args) -> int:
         engine_jobs=args.engine_jobs,
         poll=args.poll,
         max_jobs=args.max_jobs,
+        capacity=args.capacity,
     )
     return run_runner(config)
 
@@ -434,8 +435,22 @@ def _cmd_cluster(args) -> int:
         queue_limit=args.queue_limit,
         host=args.host,
         port=args.port,
+        capacity=args.capacity,
     )
     return run_local_cluster(cluster)
+
+
+def _cmd_chaos(args) -> int:
+    from repro.cluster.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        quick=args.quick,
+        lease_ttl=args.lease_ttl,
+        workdir=args.workdir,
+        keep=args.keep,
+    )
+    return run_chaos(config)
 
 
 def _cmd_bench(args) -> int:
@@ -923,6 +938,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after completing N jobs (batch mode)",
     )
     runner_parser.add_argument(
+        "--capacity", type=int, default=1, metavar="N",
+        help="concurrent leases this runner will hold (declared to the "
+        "coordinator, which weights routing and refuses over-grants)",
+    )
+    runner_parser.add_argument(
         "--inject", nargs="+", metavar="SITE=RATE", default=None,
         help="deterministic fault injection (repro.faults)",
     )
@@ -964,7 +984,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine-jobs", type=int, default=1, metavar="N",
         help="simulation worker processes per runner job",
     )
+    cluster_parser.add_argument(
+        "--capacity", type=int, default=1, metavar="N",
+        help="concurrent leases per runner",
+    )
     cluster_parser.set_defaults(func=_cmd_cluster)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="cluster chaos soak: seeded network faults + "
+        "coordinator kill -9 mid-sweep, asserting bit-identical rows "
+        "and exactly-once settlement"
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=7,
+        help="fault-schedule seed (default: 7)",
+    )
+    chaos_parser.add_argument(
+        "--quick", action="store_true",
+        help="skip the replay leg (CI smoke)",
+    )
+    chaos_parser.add_argument(
+        "--lease-ttl", type=float, default=1.5, metavar="SECONDS",
+        help="lease TTL for the chaos cluster",
+    )
+    chaos_parser.add_argument(
+        "--workdir", metavar="PATH", default=None,
+        help="run in this directory instead of a temp dir (kept)",
+    )
+    chaos_parser.add_argument(
+        "--keep", action="store_true",
+        help="keep the temp workdir for post-mortem",
+    )
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     report_parser = sub.add_parser(
         "report", help="generate the paper-vs-measured markdown report"

@@ -1,0 +1,144 @@
+"""Runner-side circuit breaker for the coordinator connection.
+
+A runner whose coordinator goes away must not spin in a tight
+connect/fail loop: every lease poll, heartbeat, and completion report
+would burn a connection attempt (and, against a half-dead coordinator,
+a full client timeout each).  The breaker turns that into paced,
+bounded probing:
+
+* **closed** — normal operation.  Failures are counted; reaching
+  ``failure_threshold`` consecutive failures opens the breaker.
+* **open** — calls are refused locally (no network I/O at all) until a
+  cooldown elapses.  The cooldown grows exponentially with consecutive
+  openings — ``base * 2^(n-1)``, capped at ``max_cooldown`` — and
+  carries deterministic jitter so a fleet of runners that lost the
+  same coordinator does not reconnect in lockstep.
+* **half-open** — after the cooldown, exactly one probe call is let
+  through.  Success closes the breaker (and resets the backoff
+  ladder); failure re-opens it with the next-longer cooldown.
+
+Determinism: the jitter factor is drawn from ``random.Random`` seeded
+with ``(seed, opening ordinal)`` — the same runner id reproduces the
+identical backoff schedule, which keeps chaos soaks replayable.
+
+Thread safety: the runner consults the breaker from its lease loop,
+its executor threads, and its heartbeat threads; every transition
+happens under one internal lock.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker with exponential backoff + jitter.
+
+    Args:
+        failure_threshold: Consecutive failures that open the breaker.
+        cooldown: Base cooldown after the first opening, seconds.
+        max_cooldown: Ceiling for the exponential cooldown ladder.
+        seed: Jitter seed — typically the runner id, so each runner's
+            schedule is deterministic but distinct from its peers'.
+    """
+
+    #: Jitter keeps reconnects of a runner fleet spread over +/-15%.
+    _JITTER_LOW = 0.85
+    _JITTER_HIGH = 1.15
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 0.5,
+        max_cooldown: float = 8.0,
+        seed: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown <= 0 or max_cooldown < cooldown:
+            raise ValueError("need 0 < cooldown <= max_cooldown")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.max_cooldown = max_cooldown
+        self.seed = seed
+        self.state = CLOSED
+        self.opens = 0  # total openings (the /metrics counter)
+        self._consecutive_opens = 0  # backoff ladder position
+        self._failures = 0
+        self._retry_at = 0.0
+        self._probing = False
+        self._lock = threading.Lock()
+
+    # -- queries -------------------------------------------------------------
+    def allow(self, now: float) -> bool:
+        """Whether a call may go out at ``now``.
+
+        In the open state this flips to half-open once the cooldown has
+        elapsed and admits exactly one probe; concurrent callers are
+        refused until that probe settles.
+        """
+        with self._lock:
+            if self.state == CLOSED:
+                return True
+            if self.state == OPEN and now >= self._retry_at:
+                self.state = HALF_OPEN
+                self._probing = True
+                return True
+            if self.state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def seconds_until_probe(self, now: float) -> float:
+        """How long until the next call would be admitted (0 = now)."""
+        with self._lock:
+            if self.state == CLOSED:
+                return 0.0
+            if self.state == HALF_OPEN and not self._probing:
+                return 0.0
+            return max(0.0, self._retry_at - now)
+
+    # -- outcomes ------------------------------------------------------------
+    def record_success(self) -> None:
+        """Any successful round trip: close and reset the ladder."""
+        with self._lock:
+            self.state = CLOSED
+            self._failures = 0
+            self._consecutive_opens = 0
+            self._probing = False
+
+    def record_failure(self, now: float) -> None:
+        """One failed round trip (connection error / timeout)."""
+        with self._lock:
+            self._failures += 1
+            if self.state == HALF_OPEN or (
+                self.state == CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._open(now)
+
+    def _open(self, now: float) -> None:
+        self.state = OPEN
+        self.opens += 1
+        self._consecutive_opens += 1
+        self._probing = False
+        base = min(
+            self.max_cooldown,
+            self.cooldown * (2 ** (self._consecutive_opens - 1)),
+        )
+        jitter = random.Random(
+            f"{self.seed}:open:{self._consecutive_opens}"
+        ).uniform(self._JITTER_LOW, self._JITTER_HIGH)
+        self._retry_at = now + base * jitter
+
+    def describe(self) -> str:
+        with self._lock:
+            return (
+                f"{self.state} (opens={self.opens}, "
+                f"failures={self._failures})"
+            )

@@ -1,0 +1,263 @@
+"""``stfm-sim chaos`` — the cluster chaos soak harness.
+
+One command that proves the headline robustness claim at cluster
+scale: *a chaotic cluster still produces bit-identical figures*.  The
+soak runs fig3 through a real subprocess cluster three times::
+
+    baseline   in-process, fault-free          -> reference rows
+    chaos      cluster + seeded network faults
+               + coordinator kill -9 mid-sweep
+               + restart on the same port      -> must match baseline
+    replay     the same chaos schedule again   -> must match baseline,
+                                                  and must fire the
+                                                  identical replay-
+                                                  stable decision set
+
+and asserts, from ``/metrics`` and the fault spool:
+
+* rows bit-identical to the fault-free baseline (both chaos runs);
+* exactly-once settlement — ``stfm_store_proxy_duplicate_puts_total``
+  is 0 (every proxy PUT is conditional; a redundant upload is a 412
+  skip, never a duplicate);
+* ``stfm_cluster_resume_recoveries_total`` >= 1 — the killed
+  coordinator really did resume the sweep from persisted state;
+* ``stfm_cluster_runner_breaker_opens_total`` >= 1 — the runner rode
+  out the outage through its circuit breaker, not a tight retry loop;
+* ``stfm_store_proxy_conditional_put_skips_total`` >= 1 — forced by an
+  explicit double-put probe, so the schedule *guarantees* it;
+* the replay-stable fired decision sets of the two chaos runs are
+  equal (see :func:`repro.faults.replay_stable_decisions`).
+
+The cluster children run under ``STFM_SIM_LEASE_SANITIZE=1``: any
+illegal lease transition raises inside the coordinator and the soak
+fails loudly.  The harness process itself stays fault-free — only the
+cluster children inherit ``STFM_SIM_FAULTS``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+
+from repro import faults
+from repro.service.client import ServiceClient, parse_metrics
+
+#: The seeded schedule: store-level network faults (content-derived
+#: keys, replay-stable), plus the PR 5 engine/store sites for spice.
+#: Client-level transport faults (attempt-scoped keys) ride along on
+#: the same ``refused``/``reset``/``latency`` rates automatically.
+CHAOS_SITES = (
+    "refused=0.08,reset=0.08,latency=0.05,partition=0.05,"
+    "truncate=0.08,corrupt=0.08,write=0.05,crash=0.05"
+)
+
+#: How long the coordinator stays dead.  Long enough that every runner
+#: contact path (lease poll at 0.05s, heartbeats at ttl/3, completion
+#: reports) accumulates the 3 consecutive failures that open the
+#: breaker — which is what lets the soak assert breaker_opens >= 1.
+OUTAGE_SECONDS = 3.0
+
+FIG3_SPEC = {"kind": "experiment", "experiment": "fig3", "scale": "tiny"}
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything ``stfm-sim chaos`` needs."""
+
+    seed: int = 7
+    quick: bool = False  # skip the replay leg (CI smoke; local = full)
+    lease_ttl: float = 1.5
+    workdir: "str | None" = None  # None: a temp dir, removed on success
+    keep: bool = False  # keep the workdir for post-mortem
+
+
+class ChaosFailure(AssertionError):
+    """One of the soak's invariants did not hold."""
+
+
+def fault_spec(seed: int) -> str:
+    return f"{CHAOS_SITES},seed={seed}"
+
+
+def _baseline_rows() -> list:
+    """Fault-free in-process fig3: the reference rows."""
+    from repro.experiments import run_experiment
+    from repro.experiments.io import result_to_dict
+
+    saved = os.environ.pop(faults.FAULTS_ENV, None)
+    try:
+        return result_to_dict(run_experiment("fig3", scale="tiny"))["rows"]
+    finally:
+        if saved is not None:
+            os.environ[faults.FAULTS_ENV] = saved
+
+
+def _wait_result(client: ServiceClient, job_id: str, timeout: float) -> dict:
+    """Like ``client.wait`` but rides out coordinator downtime: any
+    connection error or transient HTTP failure is just polled through."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            view = client.result(job_id)
+        except Exception:
+            time.sleep(0.2)
+            continue
+        if view.get("status") in ("done", "failed"):
+            return view
+        time.sleep(0.1)
+    raise ChaosFailure(f"job {job_id} did not settle within {timeout}s")
+
+
+def _store_entries(client: ServiceClient) -> int:
+    try:
+        status, _headers, decoded = client.request("GET", "/v1/store")
+    except OSError:
+        return 0
+    if status == 200 and isinstance(decoded, dict):
+        return int(decoded.get("entries", 0))
+    return 0
+
+
+def _conditional_put_probe(url: str) -> int:
+    """Force a guaranteed conditional-put skip: write one probe blob
+    twice.  The second conditional PUT must come back 412.  Returns the
+    backend's observed skip count (>= 1 on success)."""
+    from repro.engine.backends import HttpStoreBackend
+
+    backend = HttpStoreBackend(url)
+    backend.write("chaos-conditional-probe", b"probe")
+    backend.write("chaos-conditional-probe", b"probe")
+    return backend.conditional_skips
+
+
+def _chaos_leg(
+    label: str, config: ChaosConfig, root: str, baseline_rows: list,
+) -> "tuple[dict[str, float], set[tuple[str, str]]]":
+    """One full chaos run: cluster up, submit fig3, kill -9 the
+    coordinator mid-sweep, restart, settle, assert.  Returns the final
+    /metrics and the replay-stable fired decision set."""
+    from repro.cluster.supervisor import LocalCluster
+
+    spool = os.path.join(root, f"spool-{label}")
+    cluster = LocalCluster(
+        runners=1,
+        cache_dir=os.path.join(root, f"cache-{label}"),
+        state_dir=os.path.join(root, f"state-{label}"),
+        lease_ttl=config.lease_ttl,
+        poll=0.05,
+        extra_env={
+            faults.FAULTS_ENV: fault_spec(config.seed),
+            faults.FAULT_LOG_ENV: spool,
+            "STFM_SIM_LEASE_SANITIZE": "1",
+        },
+    )
+    with cluster:
+        client = ServiceClient(cluster.url, retries=4, backoff=0.1)
+        job_id = client.submit(FIG3_SPEC)["id"]
+        print(f"[{label}] submitted fig3 as {job_id}", flush=True)
+
+        # Wait for real progress (the first sub-job result landing in
+        # the shared store) so the kill is genuinely mid-sweep.
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if _store_entries(client) >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            raise ChaosFailure(f"[{label}] no store entries within 120s")
+
+        print(f"[{label}] kill -9 coordinator mid-sweep", flush=True)
+        cluster.kill_coordinator()
+        time.sleep(OUTAGE_SECONDS)
+        cluster.restart_coordinator()
+        print(f"[{label}] coordinator restarted at {cluster.url}", flush=True)
+
+        view = _wait_result(client, job_id, timeout=300.0)
+        if view.get("status") != "done":
+            raise ChaosFailure(
+                f"[{label}] job finished {view.get('status')!r}: "
+                f"{view.get('error')!r}"
+            )
+        rows = view["result"]["rows"]
+        if rows != baseline_rows:
+            raise ChaosFailure(
+                f"[{label}] rows diverged from the fault-free baseline"
+            )
+        print(f"[{label}] rows bit-identical to baseline", flush=True)
+
+        skips = _conditional_put_probe(cluster.url)
+        if skips < 1:
+            raise ChaosFailure(
+                f"[{label}] conditional-put probe saw no 412 skip"
+            )
+        metrics = parse_metrics(client.metrics())
+    fired = faults.replay_stable_decisions(faults.read_spool(spool))
+    _check_metrics(label, metrics)
+    print(
+        f"[{label}] ok: {len(fired)} replay-stable fault decision(s), "
+        f"breaker opens + resume recovery + 412 skip all observed",
+        flush=True,
+    )
+    return metrics, fired
+
+
+def _check_metrics(label: str, metrics: "dict[str, float]") -> None:
+    duplicates = metrics.get("stfm_store_proxy_duplicate_puts_total", 0)
+    if duplicates != 0:
+        raise ChaosFailure(
+            f"[{label}] exactly-once violated: "
+            f"{duplicates:g} duplicate put(s)"
+        )
+    if metrics.get("stfm_cluster_resume_recoveries_total", 0) < 1:
+        raise ChaosFailure(
+            f"[{label}] coordinator restart recovered no jobs"
+        )
+    if metrics.get("stfm_store_proxy_conditional_put_skips_total", 0) < 1:
+        raise ChaosFailure(f"[{label}] no conditional-put skips recorded")
+    opens = sum(
+        value
+        for name, value in metrics.items()
+        if name.startswith("stfm_cluster_runner_breaker_opens_total")
+    )
+    if opens < 1:
+        raise ChaosFailure(f"[{label}] no runner breaker opening recorded")
+
+
+def run_chaos(config: ChaosConfig) -> int:
+    """Blocking entry point for ``stfm-sim chaos``."""
+    root = config.workdir or tempfile.mkdtemp(prefix="stfm-chaos-")
+    print(
+        f"chaos soak: seed={config.seed} spec='{fault_spec(config.seed)}' "
+        f"workdir={root}",
+        flush=True,
+    )
+    try:
+        print("[baseline] fault-free in-process fig3", flush=True)
+        baseline = _baseline_rows()
+        _metrics, fired = _chaos_leg("chaos", config, root, baseline)
+        if config.quick:
+            print("chaos soak passed (quick: replay leg skipped)", flush=True)
+        else:
+            _metrics2, fired2 = _chaos_leg("replay", config, root, baseline)
+            if fired2 != fired:
+                missing = sorted(fired - fired2)[:5]
+                extra = sorted(fired2 - fired)[:5]
+                raise ChaosFailure(
+                    "replay fired a different replay-stable decision set "
+                    f"(missing {missing!r}, extra {extra!r})"
+                )
+            print(
+                f"chaos soak passed: replay reproduced all "
+                f"{len(fired)} replay-stable fault decision(s)",
+                flush=True,
+            )
+    except ChaosFailure as exc:
+        print(f"CHAOS SOAK FAILED: {exc}", flush=True)
+        print(f"(workdir kept for post-mortem: {root})", flush=True)
+        return 1
+    if config.workdir is None and not config.keep:
+        shutil.rmtree(root, ignore_errors=True)
+    return 0

@@ -11,7 +11,7 @@ HTTP and post results back.  Extra endpoints::
     POST /v1/leases/<id>/complete    settle the job   200 | 400 | 410 (redelivered)
     GET  /v1/cluster                 topology view    200
     GET  /v1/store/<key>             store proxy      200 | 404
-    PUT  /v1/store/<key>             store proxy      204
+    PUT  /v1/store/<key>             store proxy      204 | 412 (conditional)
     POST /v1/store/<key>/quarantine  store proxy      204
     GET  /v1/store                   store stats      200
     POST /v1/store/prune             prune the store  200
@@ -40,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import math
 import re
 import time
 from dataclasses import dataclass
@@ -53,6 +54,7 @@ from repro.service.server import (
     _HttpError,
     _json_response,
 )
+from repro.cluster.checkpoint import CheckpointState, CoordinatorCheckpoint
 from repro.cluster.leases import LeaseTable
 
 _KEY_RE = re.compile(r"[A-Za-z0-9._-]{1,200}")
@@ -89,11 +91,25 @@ class ClusterCoordinator(SimulationService):
 
     def __init__(self, config: CoordinatorConfig) -> None:
         self.cluster_config = config
+        # The checkpoint makes incarnation-scoped state durable: lease
+        # ids embed the incarnation (no cross-crash collisions), and
+        # the recovery / expiry counters accumulate across restarts.
+        self.checkpoint = CoordinatorCheckpoint(config.state_dir)
+        prior = self.checkpoint.load()
+        self.incarnation = prior.incarnation + 1
+        self.resume_recoveries = prior.resume_recoveries
         self.leases = LeaseTable(
-            Path(config.state_dir) / "leases", ttl=config.lease_ttl
+            Path(config.state_dir) / "leases",
+            ttl=config.lease_ttl,
+            id_prefix=f"i{self.incarnation}-",
         )
+        self.leases.expirations = prior.expirations
+        self.leases.redeliveries = prior.redeliveries
+        self.leases.late_completions = prior.late_completions
         self._runners_seen: dict[str, float] = {}
         self._runner_engine: dict[str, dict[str, int]] = {}
+        self._runner_capacity: dict[str, int] = {}
+        self._runner_breaker_opens: dict[str, int] = {}
         self._sweep_task: "asyncio.Task | None" = None
         super().__init__(config.service_config())
 
@@ -158,8 +174,35 @@ class ClusterCoordinator(SimulationService):
         )
         self.m_duplicate_puts = m.counter(
             "stfm_store_proxy_duplicate_puts_total",
-            "Proxy puts whose key already existed — nonzero means two "
-            "runners simulated the same sub-job.",
+            "Unconditional proxy puts whose key already existed — "
+            "nonzero means two runners re-uploaded the same sub-job.",
+        )
+        self.m_conditional_skips = m.counter(
+            "stfm_store_proxy_conditional_put_skips_total",
+            "Conditional puts (If-None-Match: *) answered 412 because "
+            "the blob was already stored — redundant uploads avoided.",
+        )
+        m.gauge(
+            "stfm_cluster_incarnation",
+            "How many times this coordinator state dir has been started.",
+            read=lambda: self.incarnation,
+        )
+        m.gauge(
+            "stfm_cluster_resume_recoveries_total",
+            "Jobs re-queued by crash-restart recovery, cumulative "
+            "across coordinator incarnations.",
+            read=lambda: self.resume_recoveries,
+        )
+        m.multi_gauge(
+            "stfm_cluster_runner_breaker_opens_total",
+            "Circuit-breaker openings, per runner (from completion "
+            "reports; each runner reports its own cumulative count).",
+            read=lambda: [
+                ({"runner": runner}, opens)
+                for runner, opens in sorted(
+                    self._runner_breaker_opens.items()
+                )
+            ],
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -172,7 +215,26 @@ class ClusterCoordinator(SimulationService):
                 flush=True,
             )
         await super().start()
+        # super().start() re-queued every non-terminal job; fold the
+        # count into the durable cumulative recovery counter.
+        self.resume_recoveries += self.resumed_jobs
+        if self.resumed_jobs:
+            print(
+                f"recovered: re-queued {self.resumed_jobs} job(s) "
+                f"(incarnation {self.incarnation})",
+                flush=True,
+            )
+        self._save_checkpoint()
         self._sweep_task = asyncio.create_task(self._sweep_loop())
+
+    def _save_checkpoint(self) -> None:
+        self.checkpoint.save(CheckpointState(
+            incarnation=self.incarnation,
+            resume_recoveries=self.resume_recoveries,
+            expirations=self.leases.expirations,
+            redeliveries=self.leases.redeliveries,
+            late_completions=self.leases.late_completions,
+        ))
 
     async def drain_and_stop(self) -> None:
         self.draining = True
@@ -191,6 +253,7 @@ class ClusterCoordinator(SimulationService):
             except asyncio.CancelledError:
                 pass
             self._sweep_task = None
+        self._save_checkpoint()
         await super().drain_and_stop()
 
     async def _sweep_loop(self) -> None:
@@ -198,6 +261,9 @@ class ClusterCoordinator(SimulationService):
         while True:
             await asyncio.sleep(interval)
             self._expire_due()
+            # Keep the durable counter bases fresh: a kill -9 loses at
+            # most one sweep interval of counter increments.
+            self._save_checkpoint()
 
     def _expire_due(self) -> None:
         for lease in self.leases.expire_due(time.monotonic()):
@@ -226,7 +292,7 @@ class ClusterCoordinator(SimulationService):
         if path == "/v1/cluster" and method == "GET":
             return _json_response(200, self._cluster_view())
         if path == "/v1/store" or path.startswith("/v1/store/"):
-            return self._route_store(method, path, body)
+            return self._route_store(method, path, headers, body)
         return None
 
     # -- leases --------------------------------------------------------------
@@ -237,8 +303,15 @@ class ClusterCoordinator(SimulationService):
             raise _HttpError(400, "lease request needs a 'runner' id")
         now = time.monotonic()
         self._runners_seen[runner] = now
+        try:
+            capacity = max(1, int(payload.get("capacity") or 1))
+        except (TypeError, ValueError):
+            raise _HttpError(400, "lease 'capacity' must be an integer") from None
+        self._runner_capacity[runner] = capacity
         if self.draining:
             raise _HttpError(503, "coordinator is draining; no new leases")
+        if self.leases.active_by_runner().get(runner, 0) >= capacity:
+            return 204, {}, b""  # the runner's slots are all busy
         job_id = self.queue.try_take(chooser=self._affinity_chooser(runner))
         if job_id is None:
             return 204, {}, b""
@@ -283,6 +356,7 @@ class ClusterCoordinator(SimulationService):
             })
         self._runners_seen[lease.runner] = time.monotonic()
         self._absorb_engine_report(lease.runner, payload.get("engine"))
+        self._absorb_breaker_report(lease.runner, payload.get("breaker_opens"))
         job = self.jobs[lease.job_id]
         job.runner = lease.runner
         wall = float(payload.get("wall") or 0.0)
@@ -305,6 +379,16 @@ class ClusterCoordinator(SimulationService):
             except (TypeError, ValueError):
                 continue
 
+    def _absorb_breaker_report(self, runner: str, opens: object) -> None:
+        """Each runner reports its *cumulative* breaker-open count, so
+        absorption takes the max (reports may arrive out of order)."""
+        try:
+            value = int(opens)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return
+        if value > self._runner_breaker_opens.get(runner, 0):
+            self._runner_breaker_opens[runner] = value
+
     # -- affinity ------------------------------------------------------------
     def _live_runners(self) -> list[str]:
         horizon = time.monotonic() - _LIVENESS_TTLS * self.leases.ttl
@@ -316,12 +400,16 @@ class ClusterCoordinator(SimulationService):
 
     def _affinity_chooser(self, runner: str):
         live = self._live_runners()
+        capacities = dict(self._runner_capacity)
 
         def choose(pending):
             if len(live) > 1:
                 for job_id in pending:
                     job = self.jobs.get(job_id)
-                    if job is not None and _owner(job.digest, live) == runner:
+                    if (
+                        job is not None
+                        and _owner(job.digest, live, capacities) == runner
+                    ):
                         return job_id
             # Work-conserving fallback: owning nothing pending never
             # means idling while work waits.
@@ -331,7 +419,7 @@ class ClusterCoordinator(SimulationService):
 
     # -- store proxy ---------------------------------------------------------
     def _route_store(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: dict, body: bytes
     ) -> tuple[int, dict, bytes]:
         if self.store is None:
             raise _HttpError(503, "coordinator has no shared store configured")
@@ -374,6 +462,12 @@ class ClusterCoordinator(SimulationService):
             return 200, {"Content-Type": "application/octet-stream"}, blob
         if method == "PUT":
             existed = backend.contains(key)
+            if existed and headers.get("if-none-match", "").strip() == "*":
+                # Conditional put: the content-addressed blob is already
+                # here, so the upload is redundant — not a duplicate.
+                self.m_proxy.inc(op="put", outcome="skipped")
+                self.m_conditional_skips.inc()
+                return 412, {}, b""
             try:
                 backend.write(key, body)
             except OSError as exc:
@@ -394,20 +488,24 @@ class ClusterCoordinator(SimulationService):
             engine = self._runner_engine.get(runner, {})
             runners[runner] = {
                 "active_leases": active.get(runner, 0),
+                "capacity": self._runner_capacity.get(runner, 1),
                 "granted": self.leases.granted.get(runner, 0),
                 "completed": self.leases.completed.get(runner, 0),
                 "sims": engine.get("jobs_run", 0),
                 "cache_hits": engine.get("hits", 0),
+                "breaker_opens": self._runner_breaker_opens.get(runner, 0),
                 "last_seen_seconds": round(now - seen, 3),
                 "live": runner in self._live_runners(),
             }
         return {
             "lease_ttl": self.leases.ttl,
+            "incarnation": self.incarnation,
             "queue_depth": self.queue.depth,
             "active_leases": len(self.leases),
             "expirations": self.leases.expirations,
             "redeliveries": self.leases.redeliveries,
             "late_completions": self.leases.late_completions,
+            "resume_recoveries": self.resume_recoveries,
             "runners": runners,
         }
 
@@ -419,16 +517,33 @@ class ClusterCoordinator(SimulationService):
         return health
 
 
-def _owner(digest: str, live_runners: list[str]) -> str:
-    """Rendezvous hashing: the live runner with the highest score for
-    this digest owns it — stable under runner churn (only keys owned by
-    a departed runner move)."""
-    return max(
-        live_runners,
-        key=lambda runner: hashlib.sha256(
-            f"{digest}:{runner}".encode()
-        ).hexdigest(),
-    )
+def _owner(
+    digest: str,
+    live_runners: list[str],
+    capacities: "dict[str, int] | None" = None,
+) -> str:
+    """Capacity-weighted rendezvous hashing: the live runner with the
+    highest score for this digest owns it — stable under runner churn
+    (only keys owned by a departed runner move).
+
+    Weighting follows the classic WRH construction: hash the
+    (digest, runner) pair to a uniform ``u`` in (0, 1) and score
+    ``-capacity / ln(u)``.  A runner with capacity *k* then owns *k*
+    times its fair share of digests in expectation.  The score is
+    monotone increasing in ``u``, so with equal capacities the choice
+    degenerates to plain max-hash rendezvous — identical routing to
+    clusters that never declare capacities.
+    """
+    capacities = capacities or {}
+
+    def score(runner: str) -> float:
+        raw = int(
+            hashlib.sha256(f"{digest}:{runner}".encode()).hexdigest(), 16
+        )
+        u = (raw + 1) / (2**256 + 1)  # uniform in (0, 1), never 0 or 1
+        return -max(1, capacities.get(runner, 1)) / math.log(u)
+
+    return max(live_runners, key=score)
 
 
 def _check_key(key: str) -> None:

@@ -56,12 +56,21 @@ class LeaseTable:
         root: Directory for lease persistence, or None for in-memory
             only (unit tests).
         ttl: Seconds a lease lives without a heartbeat.
+        id_prefix: Namespace baked into every lease id (the coordinator
+            passes its incarnation, e.g. ``"i3-"``).  A restarted
+            coordinator restarts the sequence counter, so without the
+            prefix a pre-crash runner's late completion for the *old*
+            ``lease-000001`` could settle the *new* ``lease-000001``'s
+            job.
     """
 
-    def __init__(self, root: "str | Path | None", ttl: float) -> None:
+    def __init__(
+        self, root: "str | Path | None", ttl: float, id_prefix: str = ""
+    ) -> None:
         if ttl <= 0:
             raise ValueError("lease ttl must be positive")
         self.ttl = ttl
+        self.id_prefix = id_prefix
         self.root = Path(root).expanduser() if root is not None else None
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -122,7 +131,7 @@ class LeaseTable:
         attempt = self._attempts.get(job_id, 0) + 1
         self._attempts[job_id] = attempt
         lease = Lease(
-            id=f"lease-{self._seq:06d}",
+            id=f"lease-{self.id_prefix}{self._seq:06d}",
             job_id=job_id,
             digest=digest,
             runner=runner,

@@ -13,6 +13,20 @@ the engine path is not interruptible mid-simulation — but its eventual
 completion will be answered 410 and discarded, so nothing it produces
 after losing the lease can reach job state.
 
+With ``--capacity N`` the runner holds up to N leases at once,
+executing them on a small thread pool; it declares the capacity in
+every lease request so the coordinator can weight rendezvous routing
+and refuse over-grants.
+
+Every coordinator round trip goes through a
+:class:`~repro.cluster.breaker.CircuitBreaker`: a coordinator that
+disappears (crash, partition, restart) opens the breaker after a few
+consecutive connection failures, and the runner backs off
+exponentially (deterministic per-runner jitter) instead of spinning on
+``connect()``.  Half-open probes rediscover the coordinator the moment
+it returns — which is what lets a mid-sweep ``kill -9`` + restart of
+the coordinator finish the sweep.
+
 Results flow through the shared store, not the completion payload
 alone: by default the runner mounts the coordinator's store proxy
 (:class:`~repro.engine.backends.HttpStoreBackend`), so sub-job results
@@ -20,8 +34,8 @@ land in the shared content-addressed store as they finish.  A
 redelivered job therefore resumes from cache hits — at-least-once
 delivery without duplicate simulation work.
 
-SIGTERM finishes the current job, reports it, and exits; ``kill -9``
-is the lease-expiry path the cluster is designed around.
+SIGTERM finishes the current job(s), reports them, and exits;
+``kill -9`` is the lease-expiry path the cluster is designed around.
 """
 
 from __future__ import annotations
@@ -31,9 +45,11 @@ import signal
 import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro import faults
+from repro.cluster.breaker import CircuitBreaker
 from repro.engine import session_report
 from repro.engine.backends import HttpStoreBackend
 from repro.engine.store import CacheStore
@@ -54,6 +70,7 @@ class RunnerConfig:
     engine_jobs: int = 1
     poll: float = 0.5  # idle sleep between empty lease requests
     max_jobs: "int | None" = None  # exit after N jobs (tests, batch mode)
+    capacity: int = 1  # concurrent leases this runner will hold
 
     def resolved_id(self) -> str:
         return self.runner_id or f"{socket.gethostname()}-{os.getpid()}"
@@ -63,9 +80,12 @@ class ClusterRunner:
     """One runner process bound to one coordinator."""
 
     def __init__(self, config: RunnerConfig) -> None:
+        if config.capacity < 1:
+            raise ValueError("runner capacity must be at least 1")
         self.config = config
         self.id = config.resolved_id()
         self.client = ServiceClient(config.coordinator, timeout=30.0)
+        self.breaker = CircuitBreaker(seed=self.id)
         if config.store == "proxy":
             self.store: "CacheStore | None" = CacheStore(
                 HttpStoreBackend(config.coordinator)
@@ -75,11 +95,17 @@ class ClusterRunner:
         else:
             self.store = None
         self._stop = threading.Event()
+        self._count_lock = threading.Lock()
         self.jobs_completed = 0
 
     def request_stop(self) -> None:
-        """Signal-safe: finish the current job, then exit the loop."""
+        """Signal-safe: finish the current job(s), then exit the loop."""
         self._stop.set()
+
+    def _job_finished(self) -> int:
+        with self._count_lock:
+            self.jobs_completed += 1
+            return self.jobs_completed
 
     # -- main loop -----------------------------------------------------------
     def run(self) -> int:
@@ -90,22 +116,14 @@ class ClusterRunner:
             except ValueError:
                 pass  # not the main thread (embedded in tests)
         print(
-            f"runner {self.id} polling {self.config.coordinator}",
+            f"runner {self.id} polling {self.config.coordinator} "
+            f"(capacity {self.config.capacity})",
             flush=True,
         )
-        idle_sleep = self.config.poll
-        while not self._stop.is_set():
-            lease = self._acquire()
-            if lease is None:
-                self._stop.wait(idle_sleep)
-                continue
-            self._execute(lease)
-            self.jobs_completed += 1
-            if (
-                self.config.max_jobs is not None
-                and self.jobs_completed >= self.config.max_jobs
-            ):
-                break
+        if self.config.capacity <= 1:
+            self._run_serial()
+        else:
+            self._run_concurrent()
         print(
             f"runner {self.id} stopping after "
             f"{self.jobs_completed} job(s)",
@@ -115,20 +133,87 @@ class ClusterRunner:
             self.store.close()
         return 0
 
+    def _run_serial(self) -> None:
+        while not self._stop.is_set():
+            lease = self._acquire()
+            if lease is None:
+                self._stop.wait(self._idle_sleep())
+                continue
+            self._execute(lease)
+            done = self._job_finished()
+            if self.config.max_jobs is not None and done >= self.config.max_jobs:
+                break
+
+    def _run_concurrent(self) -> None:
+        capacity = self.config.capacity
+        inflight: "set" = set()
+        pool = ThreadPoolExecutor(
+            max_workers=capacity, thread_name_prefix=f"{self.id}-exec"
+        )
+        try:
+            while not self._stop.is_set():
+                inflight = {f for f in inflight if not f.done()}
+                done = self.jobs_completed
+                if (
+                    self.config.max_jobs is not None
+                    and done >= self.config.max_jobs
+                ):
+                    break
+                budget_left = (
+                    self.config.max_jobs - done - len(inflight)
+                    if self.config.max_jobs is not None
+                    else capacity
+                )
+                if len(inflight) >= capacity or budget_left <= 0:
+                    self._stop.wait(0.05)
+                    continue
+                lease = self._acquire()
+                if lease is None:
+                    self._stop.wait(
+                        0.05 if inflight else self._idle_sleep()
+                    )
+                    continue
+                inflight.add(pool.submit(self._execute_guarded, lease))
+        finally:
+            pool.shutdown(wait=True)  # SIGTERM semantics: finish, report
+
+    def _idle_sleep(self) -> float:
+        """Idle wait between lease polls: the configured poll interval,
+        stretched to the breaker's cooldown while the coordinator is
+        away (no tight retry loop against a dead endpoint)."""
+        return max(
+            self.config.poll,
+            min(self.breaker.seconds_until_probe(time.monotonic()), 5.0),
+        )
+
     def _acquire(self) -> "dict | None":
         """One lease request; None when there is nothing to do (or the
-        coordinator is briefly unreachable/draining)."""
+        coordinator is unreachable / the breaker is open)."""
+        if not self.breaker.allow(time.monotonic()):
+            return None
         try:
             status, _headers, decoded = self.client.request(
-                "POST", "/v1/leases", body={"runner": self.id}
+                "POST", "/v1/leases",
+                body={"runner": self.id, "capacity": self.config.capacity},
             )
         except OSError:
+            self.breaker.record_failure(time.monotonic())
             return None
+        self.breaker.record_success()
         if status == 200 and isinstance(decoded, dict):
             return decoded
         return None
 
     # -- execution -----------------------------------------------------------
+    def _execute_guarded(self, lease: dict) -> None:
+        """Thread-pool wrapper: an injected service crash must take the
+        whole runner down (the lease-expiry scenario), not one thread."""
+        try:
+            self._execute(lease)
+        except SystemExit:
+            os._exit(1)
+        self._job_finished()
+
     def _execute(self, lease: dict) -> None:
         lease_id = lease["lease_id"]
         ttl = float(lease.get("ttl") or 15.0)
@@ -147,8 +232,14 @@ class ClusterRunner:
         try:
             # Same crash semantics as the single-process service: an
             # injected `service` fault takes the whole runner down,
-            # which is exactly the lease-expiry scenario.
-            if faults.fires("service", lease.get("job_id", lease_id)):
+            # which is exactly the lease-expiry scenario.  Keyed by
+            # delivery attempt so a redelivered job draws fresh — a
+            # job-only key at rate 1.0 would crash every redelivery.
+            fault_key = (
+                f"{lease.get('job_id', lease_id)}"
+                f"#a{lease.get('attempt', 1)}"
+            )
+            if faults.fires("service", fault_key):
                 raise SystemExit("injected service crash")
             result = execute_spec(
                 lease["spec"],
@@ -178,6 +269,7 @@ class ClusterRunner:
         body = {
             "runner": self.id,
             "wall": wall,
+            "breaker_opens": self.breaker.opens,
             "engine": {
                 "jobs_run": delta.jobs_run,
                 "hits": delta.hits,
@@ -194,17 +286,30 @@ class ClusterRunner:
     def _report(self, lease_id: str, body: dict) -> None:
         """Post the completion; a 410 means the lease expired and the
         job was redelivered — the payload is correctly discarded.  An
-        unreachable coordinator is retried a few times, then the result
-        is dropped: lease expiry redelivers the job, and the shared
-        store already holds the sub-job results."""
-        for attempt in range(4):
+        unreachable coordinator is retried through the breaker (paced
+        by its backoff), then the result is dropped: lease expiry
+        redelivers the job, and the shared store already holds the
+        sub-job results."""
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not self.breaker.allow(time.monotonic()):
+                self._stop.wait(
+                    min(
+                        self.breaker.seconds_until_probe(time.monotonic()),
+                        0.5,
+                    )
+                    or 0.05
+                )
+                continue
             try:
                 self.client.request(
                     "POST", f"/v1/leases/{lease_id}/complete", body=body
                 )
-                return
             except OSError:
-                time.sleep(0.25 * (attempt + 1))
+                self.breaker.record_failure(time.monotonic())
+                continue
+            self.breaker.record_success()
+            return
         print(
             f"runner {self.id}: could not report lease {lease_id}; "
             f"relying on redelivery",
@@ -220,12 +325,16 @@ class ClusterRunner:
     ) -> None:
         interval = max(0.05, ttl / 3.0)
         while not stop.wait(interval):
+            if not self.breaker.allow(time.monotonic()):
+                continue  # open breaker: skip the beat, not the job
             try:
                 status, _headers, _decoded = self.client.request(
                     "POST", f"/v1/leases/{lease_id}/heartbeat"
                 )
             except OSError:
+                self.breaker.record_failure(time.monotonic())
                 continue  # transient; the next beat may land in time
+            self.breaker.record_success()
             if status == 410:
                 lost.set()
                 return

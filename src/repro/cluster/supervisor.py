@@ -19,6 +19,7 @@ import signal
 import subprocess
 import sys
 import threading
+import urllib.parse
 from pathlib import Path
 
 _URL_RE = re.compile(r"listening on (http://[\w.:-]+)")
@@ -65,6 +66,7 @@ class LocalCluster:
         port: int = 0,
         runner_store: str = "proxy",
         poll: float = 0.2,
+        capacity: int = 1,
         extra_env: "dict | None" = None,
     ) -> None:
         self.runners = runners
@@ -77,27 +79,32 @@ class LocalCluster:
         self.port = port
         self.runner_store = runner_store
         self.poll = poll
+        self.capacity = capacity
         self.extra_env = extra_env or {}
         self.url: "str | None" = None
         self.coordinator_proc: "subprocess.Popen | None" = None
         self.runner_procs: list[subprocess.Popen] = []
 
     # -- lifecycle -----------------------------------------------------------
-    def start(self, timeout: float = 30.0) -> str:
-        """Spawn everything; returns the coordinator URL."""
-        env = _child_env()
-        env.update({k: str(v) for k, v in self.extra_env.items()})
+    def _coordinator_cmd(self, port: int) -> list[str]:
         cmd = [
             sys.executable, "-m", "repro.cli", "coordinator",
-            "--host", self.host, "--port", str(self.port),
+            "--host", self.host, "--port", str(port),
             "--state-dir", self.state_dir,
             "--lease-ttl", str(self.lease_ttl),
             "--queue-limit", str(self.queue_limit),
         ]
         if self.cache_dir:
             cmd += ["--cache-dir", str(self.cache_dir)]
+        return cmd
+
+    def start(self, timeout: float = 30.0) -> str:
+        """Spawn everything; returns the coordinator URL."""
+        env = _child_env()
+        env.update({k: str(v) for k, v in self.extra_env.items()})
         self.coordinator_proc = subprocess.Popen(
-            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env
+            self._coordinator_cmd(self.port),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
         )
         self.url = self._await_url(self.coordinator_proc, timeout)
         for index in range(self.runners):
@@ -120,6 +127,7 @@ class LocalCluster:
             "--store", self.runner_store,
             "--engine-jobs", str(self.engine_jobs),
             "--poll", str(self.poll),
+            "--capacity", str(self.capacity),
         ]
         return subprocess.Popen(
             cmd,
@@ -134,6 +142,39 @@ class LocalCluster:
         proc.kill()  # SIGKILL: no drain, no goodbye — leases must expire
         proc.wait(timeout=10)
         return proc.pid
+
+    def kill_coordinator(self) -> int:
+        """``kill -9`` the coordinator mid-sweep (the crash-resume
+        test); returns its pid.  The bound port and ``self.url`` are
+        kept so :meth:`restart_coordinator` can resurrect it in place
+        while the runners keep probing the same address."""
+        proc = self.coordinator_proc
+        if proc is None:
+            raise RuntimeError("cluster has no coordinator to kill")
+        proc.kill()  # SIGKILL: no drain, no checkpoint flush, nothing
+        proc.wait(timeout=10)
+        if proc.stdout is not None:
+            proc.stdout.close()
+        self.coordinator_proc = None
+        return proc.pid
+
+    def restart_coordinator(self, timeout: float = 30.0) -> str:
+        """Restart the coordinator on the *same* host:port with the
+        same state directory — the durable-checkpoint recovery path.
+        Returns the (unchanged) coordinator URL."""
+        if self.url is None:
+            raise RuntimeError("cluster is not started")
+        if self.coordinator_proc is not None:
+            raise RuntimeError("coordinator is still running")
+        port = urllib.parse.urlsplit(self.url).port or 8765
+        env = _child_env()
+        env.update({k: str(v) for k, v in self.extra_env.items()})
+        self.coordinator_proc = subprocess.Popen(
+            self._coordinator_cmd(port),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        )
+        self.url = self._await_url(self.coordinator_proc, timeout)
+        return self.url
 
     def stop(self, timeout: float = 30.0) -> None:
         """SIGTERM everyone (runners first), reap, close pipes."""

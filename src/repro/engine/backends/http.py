@@ -5,7 +5,7 @@ cluster coordinator serves its own store over five tiny endpoints
 (see :mod:`repro.cluster.coordinator`)::
 
     GET  /v1/store/<key>             entry blob        200 | 404
-    PUT  /v1/store/<key>             persist blob      204
+    PUT  /v1/store/<key>             persist blob      204 | 412
     POST /v1/store/<key>/quarantine  move entry aside  204
     GET  /v1/store                   stats JSON        200
     POST /v1/store/prune             delete everything 200 (removed stats)
@@ -15,21 +15,57 @@ This backend is deliberately *not* built on
 import the service package (the service imports the engine) — so it
 carries its own minimal ``http.client`` plumbing.
 
-Failure semantics match the backend contract: an unreachable proxy
-turns reads into misses (the runner re-simulates; the shared cache is
-an optimization, never a dependency) and writes into :class:`OSError`
-(counted as best-effort put errors by the policy layer).  Reads are
-retried once on connection errors to ride out a coordinator restart.
+Failure semantics match the backend contract, with one cluster-grade
+refinement: **the proxy degrades, it never fails**.
+
+* Every PUT is *conditional* (``If-None-Match: *``): the blob store is
+  content-addressed, so a key that already exists needs no second
+  upload.  The coordinator answers ``412 Precondition Failed`` and the
+  backend counts it as a successful (skipped) write — which is what
+  keeps ``stfm_store_proxy_duplicate_puts_total`` at zero under retry
+  storms.
+* When the proxy is unreachable — a real connection error, or an
+  injected ``refused`` / ``latency`` / ``partition`` fault — the
+  backend enters **degraded local-cache-only mode**: reads are served
+  from a small in-process cache of entries this backend has already
+  seen (anything else is a miss — cold-cache semantics, the runner
+  just re-simulates), and writes are buffered.  After a cooldown one
+  half-open probe request is allowed through; on success the buffered
+  writes are flushed (conditionally) and normal service resumes.
+* An injected ``reset`` fires *after* the request was sent: the
+  coordinator processed the PUT but the response is lost.  The retry
+  is a conditional PUT, so settling it costs a 412, not a duplicate
+  blob.
+* An injected ``truncate`` hands the caller a torn GET body; the
+  checksum layer above (:class:`repro.engine.store.CacheStore`)
+  detects and quarantines it exactly like on-disk corruption.
+
+Fault decisions are consulted *up front* on every read/write with
+content-derived keys (``store-read:<key>`` / ``store-write:<key>``),
+before any degraded-mode short-circuit — so the set of consulted
+decisions is a pure function of which entries the run touched, and a
+chaos replay reproduces it exactly regardless of timing.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
 import urllib.parse
+from collections import OrderedDict
 
+from repro import faults
 from repro.engine.backends.base import StoreBackend, StoreStats
+
+#: Sites consulted per operation, in consult order (order matters only
+#: for spool readability; decisions are independent streams).
+_READ_SITES = ("refused", "latency", "partition", "truncate")
+_WRITE_SITES = ("refused", "latency", "partition", "reset")
+
+#: Sites that make the proxy unreachable for this operation.
+_UNREACHABLE = frozenset({"refused", "latency", "partition"})
 
 
 class HttpStoreBackend(StoreBackend):
@@ -37,12 +73,17 @@ class HttpStoreBackend(StoreBackend):
 
     scheme = "http"
 
+    #: Entries kept locally for degraded-mode reads.  Small on purpose:
+    #: the local cache is a brown-out shim, not a second store tier.
+    LOCAL_CACHE_ENTRIES = 128
+
     def __init__(
         self,
         base_url: str,
         timeout: float = 30.0,
         retries: int = 1,
         backoff: float = 0.1,
+        probe_cooldown: float = 0.25,
     ) -> None:
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme not in ("http", ""):
@@ -53,6 +94,17 @@ class HttpStoreBackend(StoreBackend):
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.probe_cooldown = probe_cooldown
+        # Degraded-mode state, all under one lock: the runner executes
+        # leased jobs on several threads against one shared backend.
+        self._lock = threading.Lock()
+        self._degraded = False
+        self._probe_at = 0.0
+        self._local: "OrderedDict[str, bytes]" = OrderedDict()
+        self._pending: "OrderedDict[str, bytes]" = OrderedDict()
+        self.partitions = 0  # degraded windows entered
+        self.flushed = 0  # buffered writes flushed on recovery
+        self.conditional_skips = 0  # 412s observed (blob already there)
 
     def location(self) -> str:
         return f"http://{self.host}:{self.port}/v1/store"
@@ -60,12 +112,12 @@ class HttpStoreBackend(StoreBackend):
     # -- wire plumbing -------------------------------------------------------
     def _request(
         self, method: str, path: str, body: "bytes | None" = None,
-        retriable: bool = True,
+        retriable: bool = True, headers: "dict[str, str] | None" = None,
     ) -> "tuple[int, bytes]":
         """One request with bounded connection-error retries.
 
-        GETs (and the idempotent PUT of a content-addressed blob) are
-        safe to retry; the last error propagates as OSError.
+        GETs (and conditional PUTs of content-addressed blobs) are safe
+        to retry; the last error propagates as OSError.
         """
         last: "Exception | None" = None
         for attempt in range(1, self.retries + 2):
@@ -73,7 +125,7 @@ class HttpStoreBackend(StoreBackend):
                 self.host, self.port, timeout=self.timeout
             )
             try:
-                conn.request(method, path, body=body)
+                conn.request(method, path, body=body, headers=headers or {})
                 response = conn.getresponse()
                 return response.status, response.read()
             except OSError as exc:
@@ -85,21 +137,144 @@ class HttpStoreBackend(StoreBackend):
                 conn.close()
         raise OSError(f"store proxy unreachable: {last}")  # pragma: no cover
 
+    # -- fault consultation --------------------------------------------------
+    def _injected(self, op: str, key: str) -> "set[str]":
+        """Consult every network site for this operation, up front.
+
+        Unconditional on purpose: degraded-mode short-circuits must not
+        change *which* decisions get consulted, or a chaos replay's
+        fired set would depend on partition-window timing.
+        """
+        sites = _READ_SITES if op == "read" else _WRITE_SITES
+        return {s for s in sites if faults.fires(s, f"store-{op}:{key}")}
+
+    # -- degraded mode -------------------------------------------------------
+    def _enter_degraded(self, now: float) -> None:
+        with self._lock:
+            if not self._degraded:
+                self._degraded = True
+                self.partitions += 1
+            self._probe_at = now + self.probe_cooldown
+
+    def _may_probe(self, now: float) -> bool:
+        """True when this call should try the wire: healthy, or degraded
+        with the half-open cooldown elapsed (claims the probe slot)."""
+        with self._lock:
+            if not self._degraded:
+                return True
+            if now >= self._probe_at:
+                # Claim the probe: concurrent callers stay local until
+                # this one settles (success resets, failure re-arms).
+                self._probe_at = now + self.probe_cooldown
+                return True
+            return False
+
+    def _recovered(self) -> None:
+        """A probe succeeded: leave degraded mode and flush the buffer."""
+        with self._lock:
+            if not self._degraded:
+                return
+            self._degraded = False
+            pending = list(self._pending.items())
+            self._pending.clear()
+        for key, blob in pending:
+            try:
+                self._put(key, blob, retriable=False)
+            except OSError:
+                # Mid-flush relapse: re-buffer what's left and back off.
+                with self._lock:
+                    self._pending.setdefault(key, blob)
+                self._enter_degraded(time.monotonic())
+            else:
+                with self._lock:
+                    self.flushed += 1
+
+    def _local_put(self, key: str, blob: bytes) -> None:
+        with self._lock:
+            self._local[key] = blob
+            self._local.move_to_end(key)
+            while len(self._local) > self.LOCAL_CACHE_ENTRIES:
+                self._local.popitem(last=False)
+
+    def _local_get(self, key: str) -> "bytes | None":
+        with self._lock:
+            return self._local.get(key)
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._degraded
+
     # -- backend contract ----------------------------------------------------
     def read(self, key: str) -> "bytes | None":
+        injected = self._injected("read", key)
+        now = time.monotonic()
+        if injected & _UNREACHABLE:
+            self._enter_degraded(now)
+            return self._local_get(key)
+        if not self._may_probe(now):
+            return self._local_get(key)  # degraded: local-only, a miss
         try:
             status, body = self._request("GET", f"/v1/store/{key}")
         except OSError:
-            return None  # unreachable proxy is a miss, not a failure
-        return body if status == 200 else None
+            self._enter_degraded(time.monotonic())
+            return self._local_get(key)
+        self._recovered()
+        if status != 200:
+            return None
+        self._local_put(key, body)
+        if "truncate" in injected:
+            return body[: len(body) // 2]  # torn read; checksum layer
+        return body
 
-    def write(self, key: str, blob: bytes) -> None:
-        status, body = self._request("PUT", f"/v1/store/{key}", body=blob)
+    def _put(self, key: str, blob: bytes, retriable: bool = True) -> None:
+        """One conditional PUT; 412 means the blob is already there."""
+        status, body = self._request(
+            "PUT", f"/v1/store/{key}", body=blob, retriable=retriable,
+            headers={"If-None-Match": "*"},
+        )
+        if status == 412:
+            with self._lock:
+                self.conditional_skips += 1
+            return
         if status not in (200, 204):
             raise OSError(
                 f"store proxy rejected put for {key[:12]}: HTTP {status} "
                 f"{body[:120]!r}"
             )
+
+    def write(self, key: str, blob: bytes) -> None:
+        injected = self._injected("write", key)
+        now = time.monotonic()
+        self._local_put(key, blob)  # degraded reads must see own writes
+        if injected & _UNREACHABLE:
+            self._enter_degraded(now)
+            with self._lock:
+                self._pending[key] = blob
+            return
+        if not self._may_probe(now):
+            with self._lock:
+                self._pending[key] = blob
+            return
+        if "reset" in injected:
+            # The request goes out and the coordinator processes it,
+            # but the response is "lost".  Retry below settles it with
+            # a conditional PUT → 412, never a duplicate upload.
+            try:
+                self._request(
+                    "PUT", f"/v1/store/{key}", body=blob, retriable=False,
+                    headers={"If-None-Match": "*"},
+                )
+            except OSError:
+                pass  # genuinely unreachable; fall through to retry
+        try:
+            self._put(key, blob)
+        except OSError:
+            self._enter_degraded(time.monotonic())
+            with self._lock:
+                self._pending[key] = blob
+            return
+        self._recovered()
 
     def quarantine(self, key: str) -> None:
         try:

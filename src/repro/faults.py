@@ -16,6 +16,14 @@ perturbs engine cache keys).
 ``write``      a store write raises ``OSError`` ENOSPC (store)
 ``service``    a service worker raises mid-execution (service)
 ``drop``       the client's connection drops before a request (client)
+``refused``    a connection is refused before any bytes leave (network)
+``reset``      the connection resets *after* the request was sent — the
+               peer may have processed it; the response is lost (network)
+``latency``    injected latency past the client timeout (network)
+``partition``  a partition window opens: the peer is unreachable for a
+               while and the store proxy degrades to local-cache-only
+               (network)
+``truncate``   a response body arrives truncated mid-stream (network)
 =============  ==========================================================
 
 Determinism is the whole point.  A decision is a *pure function* of
@@ -52,7 +60,47 @@ SITES = (
     "write",
     "service",
     "drop",
+    "refused",
+    "reset",
+    "latency",
+    "partition",
+    "truncate",
 )
+
+#: Sites whose keys are *content-derived* (store keys, job ids) rather
+#: than wall-clock-derived.  The chaos soak harness compares the set of
+#: fired ``(site, key)`` decisions between a chaos run and its replay
+#: over exactly these sites — the keys below are consulted for the same
+#: identities in both runs regardless of scheduling, so the fired sets
+#: must match exactly.  One carve-out: a key containing ``#`` marks a
+#: *request-attempt-scoped* decision (the client keys transport faults
+#: by ``"METHOD /path #attempt"``); those streams depend on how many
+#: requests a particular interleaving issued, so
+#: :func:`replay_stable_decisions` filters them out too.
+REPLAY_STABLE_SITES = frozenset(
+    {"crash", "hang", "timeout", "corrupt", "write",
+     "refused", "reset", "latency", "partition", "truncate"}
+)
+
+
+def replay_stable_decisions(
+    fired: "set[tuple[str, str]]",
+) -> "set[tuple[str, str]]":
+    """The subset of fired decisions a replayed run must reproduce
+    exactly: replay-stable sites, minus attempt-scoped (``#``) keys."""
+    return {
+        (site, key)
+        for site, key in fired
+        if site in REPLAY_STABLE_SITES and "#" not in key
+    }
+
+#: Optional durable spool for fired decisions: when this names a
+#: directory, every firing appends one ``site\tkey`` line to a
+#: per-process file inside it (open/append/close per firing, so a
+#: ``kill -9`` loses at most the decision in flight).  The chaos
+#: harness points every cluster process at one spool directory and
+#: diffs the union afterwards.
+FAULT_LOG_ENV = "STFM_SIM_FAULT_LOG"
 
 #: How long an injected hang sleeps — longer than any sane per-job
 #: timeout, short enough that a run *without* one eventually finishes.
@@ -102,6 +150,7 @@ class FaultPlan:
         with self._lock:
             self.counters[site] = self.counters.get(site, 0) + 1
             self.log.append((site, key))
+        _spool_firing(site, key)
         return True
 
     def total_fired(self) -> int:
@@ -191,6 +240,52 @@ def injected_total() -> int:
     """Faults fired so far in this process (0 when inactive)."""
     plan = active_plan()
     return plan.total_fired() if plan is not None else 0
+
+
+def _spool_firing(site: str, key: str) -> None:
+    """Append one fired decision to the ``STFM_SIM_FAULT_LOG`` spool.
+
+    Best-effort by design: chaos must keep injecting even when the
+    spool directory is gone (the harness owns its lifetime).
+    """
+    spool = os.environ.get(FAULT_LOG_ENV, "")
+    if not spool:
+        return
+    try:
+        os.makedirs(spool, exist_ok=True)
+        path = os.path.join(spool, f"faults-{os.getpid()}.log")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(f"{site}\t{key}\n")
+    except OSError:
+        pass
+
+
+def read_spool(spool: str) -> "set[tuple[str, str]]":
+    """The union of fired ``(site, key)`` decisions across every
+    process that wrote to ``spool``.
+
+    A *set*, not a multiset: a decision is a pure function of
+    ``(seed, site, key)``, so consulting it twice (a redelivered job,
+    a retried request) fires twice but is one decision.  Comparing
+    sets is what makes the chaos replay check robust to scheduling.
+    """
+    fired: "set[tuple[str, str]]" = set()
+    try:
+        names = sorted(os.listdir(spool))
+    except OSError:
+        return fired
+    for name in names:
+        if not name.startswith("faults-"):
+            continue
+        try:
+            with open(os.path.join(spool, name), encoding="utf-8") as handle:
+                for line in handle:
+                    site, sep, key = line.rstrip("\n").partition("\t")
+                    if sep:
+                        fired.add((site, key))
+        except OSError:
+            continue
+    return fired
 
 
 def install(spec: str) -> FaultPlan:

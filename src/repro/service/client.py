@@ -53,7 +53,9 @@ class BackpressureError(ServiceError):
 
 
 class _InjectedDrop(ConnectionError):
-    """A ``drop``-site fault: the connection 'failed' before sending."""
+    """A pre-send transport fault (``drop`` / ``refused`` / ``latency``):
+    the connection 'failed' before any bytes left, so retrying is safe
+    for every method."""
 
 
 class ServiceClient:
@@ -85,6 +87,7 @@ class ServiceClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self._calls = 0  # request() ordinal; scopes transport-fault keys
 
     # -- low-level ----------------------------------------------------------
     def _request_once(
@@ -126,18 +129,46 @@ class ServiceClient:
         POST carrying an ``Idempotency-Key`` the server dedups on is
         safe to resend even when the first attempt may have been
         admitted.  A dropped POST *without* such a key propagates
-        immediately.  An injected ``drop`` fault fires *before* the
-        bytes leave, so it is safely retriable for any method.
+        immediately.
+
+        Injected transport faults (keyed per request attempt):
+
+        * ``drop`` / ``refused`` / ``latency`` fire *before* the bytes
+          leave, so they are safely retriable for any method.
+        * ``reset`` fires *after* the request was sent — the server may
+          have processed it; the response is lost.  It follows the real
+          ``OSError`` rules: retried only for GETs and requests marked
+          ``idempotent``.
+
+        ``drop`` keys by ``"METHOD /path #attempt"`` (a fixed stream per
+        path, exercised by the bounded-retry tests); the network sites
+        additionally scope their keys by this client's call ordinal, so
+        one unlucky draw can degrade a call but never permanently
+        black-hole a hot path like the runners' lease poll.  Both forms
+        contain ``#`` and are therefore excluded from the replay-stable
+        decision set (see :data:`repro.faults.REPLAY_STABLE_SITES`).
         """
+        self._calls += 1
         for attempt in range(1, self.retries + 2):
+            fault_key = f"{method} {path} #{attempt}"
+            wire_key = f"{method} {path} #{self._calls}.{attempt}"
             try:
-                if faults.fires("drop", f"{method} {path} #{attempt}"):
+                if faults.fires("drop", fault_key):
                     raise _InjectedDrop("injected connection drop")
+                if faults.fires("refused", wire_key):
+                    raise _InjectedDrop("injected connection refused")
+                if faults.fires("latency", wire_key):
+                    raise _InjectedDrop("injected latency past timeout")
+                if faults.fires("reset", wire_key):
+                    # The request really goes out (the server processes
+                    # it); only the response is lost.
+                    self._request_once(method, path, body, headers)
+                    raise ConnectionResetError("injected connection reset")
                 return self._request_once(method, path, body, headers)
             except _InjectedDrop:
                 if attempt > self.retries:
                     raise ConnectionError(
-                        "injected connection drop (retries exhausted)"
+                        "injected transport fault (retries exhausted)"
                     ) from None
             except OSError:
                 if (method != "GET" and not idempotent) or attempt > self.retries:

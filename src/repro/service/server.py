@@ -45,6 +45,7 @@ _MAX_BODY = 8 << 20  # store-proxy entry blobs ride POST/PUT bodies too
 _STATUS_TEXT = {
     200: "OK", 202: "Accepted", 204: "No Content", 400: "Bad Request",
     404: "Not Found", 405: "Method Not Allowed", 410: "Gone",
+    412: "Precondition Failed",
     413: "Payload Too Large", 429: "Too Many Requests",
     500: "Internal Server Error", 503: "Service Unavailable",
 }
@@ -86,6 +87,7 @@ class SimulationService:
             job_timeout=config.job_timeout,
         )
         self.draining = False
+        self.resumed_jobs = 0  # non-terminal jobs requeued at startup
         self._stop_requested = asyncio.Event()
         self._server: "asyncio.base_events.Server | None" = None
         self.port = config.port
@@ -192,6 +194,7 @@ class SimulationService:
             if job.idempotency_key:
                 self._by_idempotency[job.idempotency_key] = job.id
         self.pool.start()
+        self.resumed_jobs = len(requeue)
         for job in requeue:
             self._active_by_digest[job.digest] = job.id
             self.queue.submit(job.id, inflight=len(self.pool.inflight))

@@ -141,6 +141,8 @@ class JobStore:
         Returns ``(all jobs, jobs to re-enqueue)``; non-terminal jobs
         (queued, or running when the previous process died) come back as
         QUEUED with ``resumed=True`` and are persisted in that state.
+        The requeue list is ordered by admission sequence, not file
+        name, so a restarted sweep re-dispatches in submission order.
         """
         jobs = self.load_all()
         requeue = []
@@ -150,4 +152,5 @@ class JobStore:
                 job.resumed = True
                 self.save(job)
                 requeue.append(job)
+        requeue.sort(key=lambda job: job.seq)
         return jobs, requeue

@@ -1,0 +1,49 @@
+import http.client
+import threading
+import time
+
+
+def _probe(host):
+    conn = http.client.HTTPConnection(host)
+    conn.request("GET", "/healthz")
+    return conn.getresponse().read()
+
+
+def poll_paced(host):
+    # Paced: sleeps between probes, so a dead endpoint costs one
+    # request per half-second, not a busy-loop.
+    while True:
+        try:
+            _probe(host)
+        except OSError:
+            pass
+        time.sleep(0.5)
+
+
+def poll_until_stopped(host, stop):
+    # Bounded by the stop event (not constant-true), and paced by
+    # Event.wait besides.
+    while not stop.is_set():
+        try:
+            _probe(host)
+        except OSError:
+            pass
+        stop.wait(0.5)
+
+
+def poll_bounded(host):
+    # Bounded attempts: a for-loop retry budget, not a while-True.
+    for _attempt in range(3):
+        try:
+            return _probe(host)
+        except OSError:
+            time.sleep(0.1)
+    return None
+
+
+def main(host, stop):
+    threading.Thread(target=poll_paced, args=(host,), daemon=True).start()
+    threading.Thread(
+        target=poll_until_stopped, args=(host, stop), daemon=True
+    ).start()
+    threading.Thread(target=poll_bounded, args=(host,), daemon=True).start()

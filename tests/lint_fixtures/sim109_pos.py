@@ -1,0 +1,25 @@
+import http.client
+import threading
+
+
+def _probe(host):
+    conn = http.client.HTTPConnection(host)
+    conn.request("GET", "/healthz")
+    return conn.getresponse().read()
+
+
+def poll_forever(host):
+    # Tight retry: no sleep, no attempt bound, no deadline — a dead
+    # endpoint turns this worker thread into a busy-loop.
+    while True:
+        try:
+            _probe(host)
+        except OSError:
+            continue
+
+
+def main(host):
+    worker = threading.Thread(
+        target=poll_forever, args=(host,), daemon=True
+    )
+    worker.start()

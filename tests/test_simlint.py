@@ -40,7 +40,7 @@ class TestRegistry:
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
             "SIM007",
             "SIM101", "SIM102", "SIM103", "SIM104", "SIM105", "SIM106",
-            "SIM107", "SIM108",
+            "SIM107", "SIM108", "SIM109",
         ]
 
     def test_every_rule_has_fixit_and_summary(self):

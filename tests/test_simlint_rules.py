@@ -37,7 +37,7 @@ FIXTURES = REPO / "tests" / "lint_fixtures"
 
 NEW_RULES = [
     "SIM101", "SIM102", "SIM103", "SIM104", "SIM105", "SIM106",
-    "SIM107", "SIM108",
+    "SIM107", "SIM108", "SIM109",
 ]
 
 

@@ -18,12 +18,15 @@ import asyncio
 import contextlib
 import json
 import threading
+import time
 
 import pytest
 
+from repro import faults
 from repro.cluster.coordinator import ClusterCoordinator, CoordinatorConfig
 from repro.engine.backends import (
     FsBackend,
+    HttpStoreBackend,
     SqliteBackend,
     StoreBackend,
     create_backend,
@@ -241,6 +244,114 @@ class TestCacheCliSchema:
                                "total_bytes", "pruned_entries",
                                "pruned_bytes"}
         assert report["pruned_entries"] == 1
+
+
+class TestNetworkFaultConformance:
+    """The conformance contract must survive injected network faults.
+
+    On every backend, a wire-level fault may only degrade an operation
+    — a torn read quarantines like on-disk corruption, an unreachable
+    proxy turns reads into clean cold-cache misses and buffers writes,
+    a reset-after-send settles through a conditional PUT — it must
+    never raise out of the store, and never duplicate an upload.  The
+    FS and SQLite backends have no wire, so the same schedule is a
+    no-op for them: the assertions split on backend flavor.
+    """
+
+    def _seed(self, location, key, tag):
+        """One fault-free write so the entry really is in the store."""
+        store = CacheStore(location)
+        try:
+            assert store.put(key, _payload(tag), f"job-{tag}")
+        finally:
+            store.close()
+
+    def test_truncated_get_quarantines_like_corruption(
+        self, location, monkeypatch
+    ):
+        key = "a" * 64
+        self._seed(location, key, "t")
+        monkeypatch.setenv(faults.FAULTS_ENV, "truncate=1.0")
+        fresh = CacheStore(location)
+        try:
+            got = fresh.get(key)
+            if location.startswith("http"):
+                # Torn body -> checksum mismatch -> quarantined miss.
+                assert got is None
+                assert fresh.quarantined == 1
+                # The entry was quarantined remotely: a plain miss now.
+                assert fresh.get(key) is None
+                assert fresh.quarantined == 1
+            else:
+                assert got == _payload("t")  # no wire, no truncation
+        finally:
+            fresh.close()
+
+    def test_reset_mid_put_settles_without_duplicates(
+        self, location, monkeypatch
+    ):
+        monkeypatch.setenv(faults.FAULTS_ENV, "reset=1.0")
+        key = "b" * 64
+        store = CacheStore(location)
+        try:
+            # The doomed send reaches the proxy, the response is lost,
+            # and the conditional retry settles with a 412 — the put
+            # still reports success on every backend.
+            assert store.put(key, _payload("r"), "job-r")
+        finally:
+            store.close()
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        fresh = CacheStore(location)
+        try:
+            assert fresh.get(key) == _payload("r")
+            assert fresh.stats().entries == 1
+        finally:
+            fresh.close()
+        if location.startswith("http"):
+            # Re-uploading an existing blob is a conditional-put skip,
+            # never a duplicate upload.
+            probe = HttpStoreBackend(location)
+            blob = probe.read(key)
+            assert blob is not None
+            probe.write(key, blob)
+            assert probe.conditional_skips == 1
+
+    def test_latency_past_timeout_degrades_to_cold_cache(
+        self, location, monkeypatch
+    ):
+        key = "c" * 64
+        buffered = "d" * 64
+        self._seed(location, key, "l")
+        monkeypatch.setenv(faults.FAULTS_ENV, "latency=1.0")
+        fresh = CacheStore(location)
+        try:
+            got = fresh.get(key)
+            if not location.startswith("http"):
+                assert got == _payload("l")  # no wire, no latency
+                return
+            # Partitioned: the local cache is cold, so the read is a
+            # clean miss (the caller just re-simulates) — no exception.
+            assert got is None
+            assert fresh.misses == 1
+            assert fresh.backend.degraded is True
+            # Writes buffer instead of failing...
+            assert fresh.put(buffered, _payload("d"), "job-d")
+            # ...and stay readable through the degraded local cache.
+            assert fresh.backend.read(buffered) is not None
+            # Heal the network: the half-open probe recovers the wire
+            # and flushes the buffered write (conditionally).
+            monkeypatch.delenv(faults.FAULTS_ENV)
+            time.sleep(0.3)  # past the probe cooldown
+            assert fresh.backend.read(key) is not None
+            assert fresh.backend.degraded is False
+            assert fresh.backend.flushed >= 1
+        finally:
+            fresh.close()
+        check = CacheStore(location)
+        try:
+            assert check.get(buffered) == _payload("d")
+        finally:
+            check.close()
 
 
 class TestBackendContract:
